@@ -1,0 +1,130 @@
+// Command tracegen generates a dynamic instruction trace from a synthetic
+// workload, writes it in the compact binary format of internal/trace, and
+// can inspect existing trace files.
+//
+// Usage:
+//
+//	tracegen -workload bm_cc -insts 1000000 -o bm_cc.trace
+//	tracegen -inspect bm_cc.trace -workload bm_cc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uopsim/internal/isa"
+	"uopsim/internal/trace"
+	"uopsim/internal/workload"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "bm_cc", "Table II workload name")
+		insts   = flag.Uint64("insts", 1_000_000, "instructions to generate")
+		out     = flag.String("o", "", "output trace file (generate mode)")
+		inspect = flag.String("inspect", "", "trace file to summarize (inspect mode)")
+	)
+	flag.Parse()
+
+	prof, err := workload.ByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	wl, err := workload.Build(prof)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *inspect != "" {
+		if err := inspectTrace(*inspect, wl); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *out == "" {
+		fatal(fmt.Errorf("need -o FILE to generate or -inspect FILE to summarize"))
+	}
+	if err := generate(*out, wl, *insts); err != nil {
+		fatal(err)
+	}
+}
+
+func generate(path string, wl *workload.Workload, n uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	walker := workload.NewWalker(wl)
+	for i := uint64(0); i < n; i++ {
+		rec, _ := walker.Next()
+		if err := tw.Write(rec); err != nil {
+			return err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records to %s (program: %d static insts, %d KB code)\n",
+		tw.Count(), path, wl.Program.NumInsts(), wl.Program.CodeBytes()>>10)
+	return nil
+}
+
+func inspectTrace(path string, wl *workload.Workload) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var n, branches, taken, mem uint64
+	classCounts := map[isa.Class]uint64{}
+	for {
+		rec, ok := tr.Next()
+		if !ok {
+			break
+		}
+		if int(rec.InstID) >= wl.Program.NumInsts() {
+			return fmt.Errorf("record %d references inst %d outside program (wrong -workload?)", n, rec.InstID)
+		}
+		in := wl.Program.Inst(rec.InstID)
+		n++
+		classCounts[in.Class]++
+		if in.IsBranch() {
+			branches++
+			if rec.Taken {
+				taken++
+			}
+		}
+		if rec.MemAddr != 0 {
+			mem++
+		}
+	}
+	if err := tr.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d records\n", path, n)
+	fmt.Printf("  branches: %d (%.1f%%), taken %.1f%%\n", branches,
+		100*float64(branches)/float64(n), 100*float64(taken)/float64(branches))
+	fmt.Printf("  memory references: %d (%.1f%%)\n", mem, 100*float64(mem)/float64(n))
+	fmt.Printf("  class mix:\n")
+	for c := isa.ClassALU; c <= isa.ClassBranch; c++ {
+		if classCounts[c] > 0 {
+			fmt.Printf("    %-8s %6.2f%%\n", c, 100*float64(classCounts[c])/float64(n))
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Command uopexp regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	uopexp -list
+//	uopexp -exp fig16
+//	uopexp -exp all -insts 300000 -warmup 100000
+//	uopexp -exp fig3 -workloads bm_cc,nutch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"uopsim"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+		warmup    = flag.Uint64("warmup", 100_000, "warmup instructions per run")
+		insts     = flag.Uint64("insts", 300_000, "measured instructions per run")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all 13)")
+		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = default)")
+		list      = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range uopsim.Experiments() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	params := uopsim.ExperimentParams{
+		WarmupInsts:  *warmup,
+		MeasureInsts: *insts,
+		Parallel:     *parallel,
+	}
+	if *workloads != "" {
+		params.Workloads = strings.Split(*workloads, ",")
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = ids[:0]
+		for _, e := range uopsim.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := uopsim.RunExperiment(id, os.Stdout, params); err != nil {
+			fmt.Fprintln(os.Stderr, "uopexp:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+	}
+}

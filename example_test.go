@@ -1,0 +1,39 @@
+package uopsim_test
+
+import (
+	"fmt"
+
+	"uopsim"
+)
+
+// The simplest use: run one Table II workload on the default (baseline)
+// machine and inspect the headline metrics.
+func ExampleRun() {
+	cfg := uopsim.DefaultConfig()
+	m, err := uopsim.Run(cfg, "redis", 10_000, 50_000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.UPC > 0, m.OCFetchRatio > 0 && m.OCFetchRatio <= 1)
+	// Output: true true
+}
+
+// Design points are expressed as Schemes; Configure yields a ready Config.
+func ExampleSchemes() {
+	for _, sc := range uopsim.Schemes(2) {
+		fmt.Println(sc.Name)
+	}
+	// Output:
+	// baseline
+	// CLASP
+	// RAC
+	// PWAC
+	// F-PWAC
+}
+
+// WithCompaction layers the paper's best variant onto any configuration.
+func ExampleWithCompaction() {
+	cfg := uopsim.WithCompaction(uopsim.DefaultConfig(), uopsim.AllocFPWAC, 2)
+	fmt.Println(cfg.UopCache.MaxEntriesPerLine, cfg.Limits.MaxICLines)
+	// Output: 2 2
+}

@@ -1,0 +1,51 @@
+// Quickstart: simulate one workload on the baseline uop cache and on the
+// paper's best scheme (CLASP + F-PWAC compaction), and print the comparison.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uopsim"
+)
+
+func main() {
+	const (
+		workload = "bm_cc" // 502.gcc_r analog: the paper's biggest winner
+		warmup   = 50_000
+		measure  = 200_000
+	)
+
+	baselineCfg := uopsim.DefaultConfig() // Table I machine, 2K-uop cache
+	optimizedCfg := uopsim.WithCompaction(uopsim.DefaultConfig(), uopsim.AllocFPWAC, 2)
+
+	base, err := uopsim.Run(baselineCfg, workload, warmup, measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := uopsim.Run(optimizedCfg, workload, warmup, measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s, %d measured instructions\n\n", workload, measure)
+	fmt.Printf("%-22s %12s %12s %9s\n", "metric", "baseline", "CLASP+F-PWAC", "change")
+	row := func(name string, b, o float64, lowerBetter bool) {
+		delta := 100 * (o/b - 1)
+		arrow := ""
+		if (delta > 0) != lowerBetter && delta != 0 {
+			arrow = " (better)"
+		}
+		fmt.Printf("%-22s %12.3f %12.3f %+8.2f%%%s\n", name, b, o, delta, arrow)
+	}
+	row("UPC", base.UPC, opt.UPC, false)
+	row("OC fetch ratio", base.OCFetchRatio, opt.OCFetchRatio, false)
+	row("dispatch BW (uops/c)", base.DispatchBW, opt.DispatchBW, false)
+	row("decoder power", base.DecoderPower, opt.DecoderPower, true)
+	row("mispredict latency", base.AvgMispLatency, opt.AvgMispLatency, true)
+	fmt.Printf("\nbranch MPKI: %.2f (both configurations share the same predictor)\n", base.BranchMPKI)
+}

@@ -1,0 +1,287 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uopsim/internal/isa"
+	"uopsim/internal/rng"
+)
+
+// foldReference recomputes a folded history from the raw bit window, the
+// slow way, to verify the incremental CSR update.
+func foldReference(bits []uint32, origLen, compLen int) uint32 {
+	var comp uint32
+	// Repeated insertion, mirroring the incremental update applied to an
+	// initially empty history: bits[len-1] is the oldest.
+	f := newFolded(origLen, compLen)
+	for i := len(bits) - 1; i >= 0; i-- {
+		var old uint32
+		if i+origLen < len(bits) {
+			old = bits[i+origLen]
+		}
+		f.update(bits[i], old)
+	}
+	comp = f.value()
+	return comp
+}
+
+func TestFoldedHistoryMatchesReference(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		h := NewHistory()
+		var raw []uint32 // raw[0] = most recent
+		for i := 0; i < 300; i++ {
+			b := uint32(r.Intn(2))
+			raw = append([]uint32{b}, raw...)
+			h.Shift(b == 1)
+		}
+		for t := 0; t < numTables; t++ {
+			want := foldReference(raw, histLens[t], int(h.idx[t].compLen))
+			if h.idx[t].value() != want {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistoryBitWindow(t *testing.T) {
+	h := NewHistory()
+	h.Shift(true)
+	h.Shift(false)
+	h.Shift(true) // most recent
+	if h.bit(0) != 1 || h.bit(1) != 0 || h.bit(2) != 1 {
+		t.Errorf("bits = %d%d%d, want 101", h.bit(0), h.bit(1), h.bit(2))
+	}
+}
+
+func TestHistoryCopyRestore(t *testing.T) {
+	a := NewHistory()
+	for i := 0; i < 50; i++ {
+		a.Shift(i%3 == 0)
+	}
+	var b History
+	b.CopyFrom(a)
+	a.Shift(true) // diverge
+	if b.bit(0) == a.bit(0) && b.idx[3].value() == a.idx[3].value() {
+		t.Error("copy did not snapshot independent state")
+	}
+	a.CopyFrom(&b)
+	for tbl := 0; tbl < numTables; tbl++ {
+		if a.idx[tbl].value() != b.idx[tbl].value() {
+			t.Fatal("restore incomplete")
+		}
+	}
+}
+
+func TestBTBInsertLookup(t *testing.T) {
+	btb := NewBTB()
+	pc := uint64(0x1010)
+	btb.Insert(pc, isa.BranchCond, 0x2000, 4)
+	br, pen, ok := btb.Lookup(0x1000, 0)
+	if !ok || pen != 0 {
+		t.Fatalf("lookup failed (ok=%v pen=%d)", ok, pen)
+	}
+	if br.PC(0x1000) != pc || br.Target != 0x2000 || br.Kind != isa.BranchCond {
+		t.Errorf("wrong branch: %+v", br)
+	}
+	if br.FallThrough(0x1000) != pc+4 {
+		t.Errorf("fallthrough = %#x", br.FallThrough(0x1000))
+	}
+}
+
+func TestBTBMinOffsetAndOrdering(t *testing.T) {
+	btb := NewBTB()
+	btb.Insert(0x1030, isa.BranchJump, 0x9000, 5)
+	btb.Insert(0x1008, isa.BranchCond, 0x8000, 2)
+	br, _, ok := btb.Lookup(0x1000, 0)
+	if !ok || br.Offset != 0x08 {
+		t.Fatalf("first branch should be the earliest (offset %#x)", br.Offset)
+	}
+	br, _, ok = btb.Lookup(0x1000, 0x09)
+	if !ok || br.Offset != 0x30 {
+		t.Fatalf("minOffset skip failed (offset %#x)", br.Offset)
+	}
+	if _, _, ok = btb.Lookup(0x1000, 0x31); ok {
+		t.Fatal("no branch past 0x31")
+	}
+}
+
+func TestBTBUpdateInPlace(t *testing.T) {
+	btb := NewBTB()
+	btb.Insert(0x1010, isa.BranchIndirect, 0x2000, 3)
+	btb.Insert(0x1010, isa.BranchIndirect, 0x3000, 3) // retarget
+	br, _, _ := btb.Lookup(0x1000, 0)
+	if br.Target != 0x3000 {
+		t.Errorf("target not updated: %#x", br.Target)
+	}
+}
+
+func TestBTBDenseLineSpillsAcrossWays(t *testing.T) {
+	btb := NewBTB()
+	// Four branches in one line: two entries' worth.
+	for i := 0; i < 4; i++ {
+		btb.Insert(uint64(0x1000+i*16), isa.BranchCond, 0x2000, 2)
+	}
+	for i := 0; i < 4; i++ {
+		br, _, ok := btb.Lookup(0x1000, i*16)
+		if !ok || int(br.Offset) != i*16 {
+			t.Fatalf("branch %d not found", i)
+		}
+	}
+}
+
+func TestBTBL2Backfill(t *testing.T) {
+	btb := NewBTB()
+	btb.Insert(0x1010, isa.BranchCond, 0x2000, 4)
+	// Evict from L1 by inserting many conflicting lines (L1: 256 sets;
+	// stride 256*64).
+	for i := 1; i <= 8; i++ {
+		btb.Insert(uint64(0x1010+i*256*64), isa.BranchCond, 0x2000, 4)
+	}
+	_, pen, ok := btb.Lookup(0x1000, 0)
+	if !ok {
+		t.Fatal("L2 should still hold the branch")
+	}
+	if pen != btb.L2HitPenalty {
+		t.Errorf("penalty = %d, want %d", pen, btb.L2HitPenalty)
+	}
+	// And it is now back in L1: a second lookup is penalty-free.
+	if _, pen2, _ := btb.Lookup(0x1000, 0); pen2 != 0 {
+		t.Errorf("backfill missing: penalty %d", pen2)
+	}
+}
+
+func TestRASPushPop(t *testing.T) {
+	r := NewRAS()
+	r.SpecPush(100)
+	r.SpecPush(200)
+	if v, ok := r.SpecPop(); !ok || v != 200 {
+		t.Fatal("pop order wrong")
+	}
+	if v, ok := r.SpecPop(); !ok || v != 100 {
+		t.Fatal("second pop wrong")
+	}
+	if _, ok := r.SpecPop(); ok {
+		t.Fatal("empty pop should fail")
+	}
+}
+
+func TestRASRepair(t *testing.T) {
+	r := NewRAS()
+	r.ArchPush(1)
+	r.ArchPush(2)
+	r.SpecPush(1)
+	r.SpecPush(2)
+	// Wrong-path speculation corrupts the spec stack.
+	r.SpecPop()
+	r.SpecPush(99)
+	r.SpecPush(98)
+	r.Repair()
+	if v, ok := r.SpecPop(); !ok || v != 2 {
+		t.Fatalf("repair failed: got %v", v)
+	}
+	if r.SpecDepth() != 1 {
+		t.Errorf("depth = %d", r.SpecDepth())
+	}
+}
+
+func TestRASOverflowWrap(t *testing.T) {
+	r := NewRAS()
+	for i := 0; i < 100; i++ {
+		r.SpecPush(uint64(i))
+	}
+	// The stack holds the most recent 64 entries.
+	for i := 99; i >= 36; i-- {
+		v, ok := r.SpecPop()
+		if !ok || v != uint64(i) {
+			t.Fatalf("pop %d = (%v,%v)", i, v, ok)
+		}
+	}
+	if _, ok := r.SpecPop(); ok {
+		t.Fatal("oldest entries should have been overwritten")
+	}
+}
+
+func TestITPLearnsStableTarget(t *testing.T) {
+	itp := NewITP()
+	h := NewHistory()
+	pc := uint64(0x5000)
+	for i := 0; i < 4; i++ {
+		itp.Update(pc, h, 0x9000)
+	}
+	if tgt, ok := itp.Predict(pc, h); !ok || tgt != 0x9000 {
+		t.Fatalf("stable target not learned: (%#x, %v)", tgt, ok)
+	}
+}
+
+func TestITPRetargetsAfterConfidenceDrains(t *testing.T) {
+	itp := NewITP()
+	h := NewHistory()
+	pc := uint64(0x5000)
+	for i := 0; i < 4; i++ {
+		itp.Update(pc, h, 0x9000)
+	}
+	for i := 0; i < 8; i++ {
+		itp.Update(pc, h, 0xA000)
+	}
+	if tgt, ok := itp.Predict(pc, h); !ok || tgt != 0xA000 {
+		t.Fatalf("retarget failed: (%#x, %v)", tgt, ok)
+	}
+}
+
+func TestITPHistoryContext(t *testing.T) {
+	// The same indirect branch with different histories can hold different
+	// targets (the point of history hashing).
+	itp := NewITP()
+	h1, h2 := NewHistory(), NewHistory()
+	for i := 0; i < 40; i++ {
+		h2.Shift(true)
+	}
+	pc := uint64(0x5000)
+	for i := 0; i < 4; i++ {
+		itp.Update(pc, h1, 0x9000)
+		itp.Update(pc, h2, 0xA000)
+	}
+	t1, ok1 := itp.Predict(pc, h1)
+	t2, ok2 := itp.Predict(pc, h2)
+	if !ok1 || !ok2 || t1 != 0x9000 || t2 != 0xA000 {
+		t.Errorf("context targets: (%#x,%v) (%#x,%v)", t1, ok1, t2, ok2)
+	}
+}
+
+func TestPredictorRedirectRestoresSpec(t *testing.T) {
+	p := New()
+	// Train both views identically.
+	for i := 0; i < 10; i++ {
+		p.SpecShift(true)
+		p.ArchShift(true)
+	}
+	// Wrong-path speculation diverges the spec view.
+	p.SpecShift(false)
+	p.SpecShift(false)
+	p.Redirect()
+	if p.spec.bit(0) != p.arch.bit(0) || p.spec.idx[2].value() != p.arch.idx[2].value() {
+		t.Error("redirect did not restore speculative history")
+	}
+}
+
+func TestPredictTargetKinds(t *testing.T) {
+	p := New()
+	// Direct branch: BTB target is authoritative.
+	if tgt, ok := p.PredictTarget(0x10, BTBBranch{Valid: true, Kind: isa.BranchJump, Target: 0x99}); !ok || tgt != 0x99 {
+		t.Error("direct target wrong")
+	}
+	// Return: spec RAS.
+	p.SpecCall(0x1234)
+	if tgt, ok := p.PredictTarget(0x20, BTBBranch{Valid: true, Kind: isa.BranchRet}); !ok || tgt != 0x1234 {
+		t.Error("RAS target wrong")
+	}
+	// Indirect with no ITP entry falls back to the BTB's last target.
+	if tgt, ok := p.PredictTarget(0x30, BTBBranch{Valid: true, Kind: isa.BranchIndirect, Target: 0x555}); !ok || tgt != 0x555 {
+		t.Error("indirect fallback wrong")
+	}
+}

@@ -1,0 +1,192 @@
+package bpred
+
+import "uopsim/internal/isa"
+
+// BTBBranch is one branch recorded in a BTB entry.
+type BTBBranch struct {
+	Valid  bool
+	Offset uint8 // byte offset of the branch within its 64B line
+	Len    uint8 // instruction length (locates the branch end / fallthrough)
+	Kind   isa.BranchKind
+	Target uint64 // last known target (direct target, or last indirect target)
+}
+
+// PC returns the branch's full address given its line.
+func (b BTBBranch) PC(lineAddr uint64) uint64 { return lineAddr + uint64(b.Offset) }
+
+// FallThrough returns the address after the branch.
+func (b BTBBranch) FallThrough(lineAddr uint64) uint64 {
+	return lineAddr + uint64(b.Offset) + uint64(b.Len)
+}
+
+// btbEntry covers one 64-byte code line and records up to two branches in it
+// (Table I: "2 branches per BTB entry").
+type btbEntry struct {
+	valid    bool
+	tag      uint64
+	branches [2]BTBBranch
+	lruTick  uint64
+}
+
+// btbLevel is one set-associative level of the BTB.
+type btbLevel struct {
+	sets  int
+	ways  int
+	data  []btbEntry // sets*ways
+	ticks uint64
+}
+
+func newBTBLevel(sets, ways int) *btbLevel {
+	return &btbLevel{sets: sets, ways: ways, data: make([]btbEntry, sets*ways)}
+}
+
+const lineShift = 6 // 64B lines
+
+// lookup returns all entries tagged with lineAddr (a line with many branches
+// can occupy several ways, each holding up to two branches), refreshing LRU.
+func (l *btbLevel) lookup(lineAddr uint64) []*btbEntry {
+	set := int(lineAddr>>lineShift) & (l.sets - 1)
+	base := set * l.ways
+	var hits []*btbEntry
+	for w := 0; w < l.ways; w++ {
+		e := &l.data[base+w]
+		if e.valid && e.tag == lineAddr {
+			l.ticks++
+			e.lruTick = l.ticks
+			hits = append(hits, e)
+		}
+	}
+	return hits
+}
+
+// install copies entry src (or allocates fresh) for lineAddr and returns it.
+func (l *btbLevel) install(lineAddr uint64, src *btbEntry) *btbEntry {
+	set := int(lineAddr>>lineShift) & (l.sets - 1)
+	base := set * l.ways
+	victim := base
+	for w := 0; w < l.ways; w++ {
+		e := &l.data[base+w]
+		if !e.valid {
+			victim = base + w
+			break
+		}
+		if e.lruTick < l.data[victim].lruTick {
+			victim = base + w
+		}
+	}
+	e := &l.data[victim]
+	if src != nil {
+		*e = *src
+	} else {
+		*e = btbEntry{}
+	}
+	e.valid = true
+	e.tag = lineAddr
+	l.ticks++
+	e.lruTick = l.ticks
+	return e
+}
+
+// BTB is the two-level branch target buffer.
+type BTB struct {
+	l1, l2 *btbLevel
+	// L2HitPenalty is the BPU bubble (cycles) on an L1 miss that hits in L2.
+	L2HitPenalty int
+
+	hitsL1, hitsL2, misses uint64
+}
+
+// NewBTB builds the default two-level geometry: 1K-entry L1, 8K-entry L2
+// (each entry covers a 64B line with up to 2 branches; commercial two-level
+// BTBs hold several thousand branches).
+func NewBTB() *BTB {
+	return &BTB{
+		l1:           newBTBLevel(256, 4),
+		l2:           newBTBLevel(1024, 8),
+		L2HitPenalty: 2,
+	}
+}
+
+// Lookup finds the first recorded branch in the line at or after byte offset
+// minOffset. It returns the branch, the BPU bubble cycles incurred by the
+// lookup (L2 fill), and whether a branch was found. A miss in both levels
+// returns found=false with zero penalty (the front end simply does not know
+// about any branch in the line).
+func (b *BTB) Lookup(lineAddr uint64, minOffset int) (br BTBBranch, penalty int, found bool) {
+	entries := b.l1.lookup(lineAddr)
+	if len(entries) == 0 {
+		if l2 := b.l2.lookup(lineAddr); len(l2) > 0 {
+			for _, e2 := range l2 {
+				entries = append(entries, b.l1.install(lineAddr, e2))
+			}
+			penalty = b.L2HitPenalty
+			b.hitsL2++
+		} else {
+			b.misses++
+			return BTBBranch{}, 0, false
+		}
+	} else {
+		b.hitsL1++
+	}
+	var best BTBBranch
+	for _, e := range entries {
+		for i := range e.branches {
+			s := e.branches[i]
+			if !s.Valid || int(s.Offset) < minOffset {
+				continue
+			}
+			if !best.Valid || s.Offset < best.Offset {
+				best = s
+			}
+		}
+	}
+	if !best.Valid {
+		return BTBBranch{}, penalty, false
+	}
+	return best, penalty, true
+}
+
+// Insert records (or updates) a branch at pc. It installs into both levels.
+func (b *BTB) Insert(pc uint64, kind isa.BranchKind, target uint64, length uint8) {
+	lineAddr := pc &^ uint64((1<<lineShift)-1)
+	offset := uint8(pc & ((1 << lineShift) - 1))
+	br := BTBBranch{Valid: true, Offset: offset, Len: length, Kind: kind, Target: target}
+	for _, lvl := range [...]*btbLevel{b.l1, b.l2} {
+		entries := lvl.lookup(lineAddr)
+		placed := false
+		// Update in place if the branch is already recorded.
+		for _, e := range entries {
+			for i := range e.branches {
+				if e.branches[i].Valid && e.branches[i].Offset == offset {
+					e.branches[i] = br
+					placed = true
+				}
+			}
+		}
+		if placed {
+			continue
+		}
+		// Otherwise take a free slot in an existing entry for this line...
+		for _, e := range entries {
+			for i := range e.branches {
+				if !e.branches[i].Valid {
+					e.branches[i] = br
+					placed = true
+					break
+				}
+			}
+			if placed {
+				break
+			}
+		}
+		if placed {
+			continue
+		}
+		// ...or allocate a fresh entry (a dense line spills across ways).
+		e := lvl.install(lineAddr, nil)
+		e.branches[0] = br
+	}
+}
+
+// Stats returns (L1 hits, L2 hits, misses).
+func (b *BTB) Stats() (uint64, uint64, uint64) { return b.hitsL1, b.hitsL2, b.misses }

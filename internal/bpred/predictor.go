@@ -1,0 +1,153 @@
+package bpred
+
+import "uopsim/internal/isa"
+
+// Predictor bundles the direction predictor, BTB, RAS and indirect target
+// predictor behind the two views the pipeline needs: a speculative view used
+// while fetching (possibly down the wrong path) and an architectural view
+// trained in correct-path program order.
+type Predictor struct {
+	Tage *Tage
+	BTB  *BTB
+	RAS  *RAS
+	ITP  *ITP
+
+	spec *History
+	arch *History
+
+	condLookups uint64
+	condMiss    uint64
+	targetMiss  uint64
+
+	// Shadow is an optional reference predictor trained with immediate
+	// predict+update on the consumed branch sequence; it isolates timing
+	// effects from table effects in accuracy debugging.
+	Shadow     *Tage
+	shadowMiss uint64
+}
+
+// New builds a predictor with the default Table I geometry.
+func New() *Predictor {
+	return &Predictor{
+		Tage: NewTage(),
+		BTB:  NewBTB(),
+		RAS:  NewRAS(),
+		ITP:  NewITP(),
+		spec: NewHistory(),
+		arch: NewHistory(),
+	}
+}
+
+// FindBranch consults the BTB for the first known branch in the 64B line at
+// lineAddr at or after byte offset minOffset (speculative fetch side).
+func (p *Predictor) FindBranch(lineAddr uint64, minOffset int) (BTBBranch, int, bool) {
+	return p.BTB.Lookup(lineAddr, minOffset)
+}
+
+// PredictCond predicts the direction of the conditional branch at pc using
+// speculative history.
+func (p *Predictor) PredictCond(pc uint64) Pred {
+	return p.Tage.Predict(pc, p.spec)
+}
+
+// PredictTarget predicts the target of the branch at pc given its BTB record
+// (speculative fetch side). For returns it pops the speculative RAS; for
+// indirect branches it consults the ITP with BTB fallback; for direct
+// branches the BTB target is authoritative.
+func (p *Predictor) PredictTarget(pc uint64, br BTBBranch) (uint64, bool) {
+	switch br.Kind {
+	case isa.BranchRet:
+		if t, ok := p.RAS.SpecPop(); ok {
+			return t, true
+		}
+		return br.Target, br.Target != 0
+	case isa.BranchIndirect, isa.BranchIndirectCall:
+		if t, ok := p.ITP.Predict(pc, p.spec); ok {
+			return t, true
+		}
+		return br.Target, br.Target != 0
+	default:
+		return br.Target, true
+	}
+}
+
+// SpecCall records a speculative call's return address on the RAS.
+func (p *Predictor) SpecCall(returnAddr uint64) { p.RAS.SpecPush(returnAddr) }
+
+// SpecShift advances speculative history with a (possibly wrong-path)
+// branch outcome.
+func (p *Predictor) SpecShift(taken bool) { p.spec.Shift(taken) }
+
+// TrainCond performs the correct-path TAGE prediction+update pair for a
+// conditional branch and returns the predicted direction. It must be called
+// in program order while the front end is on the correct path (speculative
+// and architectural history coincide there).
+func (p *Predictor) TrainCond(pc uint64, taken bool) (predictedTaken bool) {
+	pred := p.Tage.Predict(pc, p.arch)
+	p.UpdateCond(pc, pred, taken)
+	return pred.Taken
+}
+
+// UpdateCond trains TAGE with the fetch-time prediction state (pred, as
+// returned by PredictCond) and the resolved outcome, in program order.
+func (p *Predictor) UpdateCond(pc uint64, pred Pred, taken bool) {
+	p.Tage.Update(pc, p.arch, pred, taken)
+	p.condLookups++
+	if pred.Taken != taken {
+		p.condMiss++
+	}
+	if p.Shadow != nil {
+		sp := p.Shadow.Predict(pc, p.arch)
+		p.Shadow.Update(pc, p.arch, sp, taken)
+		if sp.Taken != taken {
+			p.shadowMiss++
+		}
+	}
+}
+
+// ShadowAccuracy returns the shadow predictor's accuracy.
+func (p *Predictor) ShadowAccuracy() float64 {
+	if p.condLookups == 0 {
+		return 0
+	}
+	return 1 - float64(p.shadowMiss)/float64(p.condLookups)
+}
+
+// TrainTarget performs correct-path target training for a resolved branch.
+func (p *Predictor) TrainTarget(pc uint64, kind isa.BranchKind, target uint64, length uint8) {
+	p.BTB.Insert(pc, kind, target, length)
+	if kind == isa.BranchIndirect || kind == isa.BranchIndirectCall {
+		p.ITP.Update(pc, p.arch, target)
+	}
+}
+
+// ArchShift advances architectural history with a correct-path outcome.
+func (p *Predictor) ArchShift(taken bool) { p.arch.Shift(taken) }
+
+// ArchCall/ArchRet maintain the architectural RAS in program order.
+func (p *Predictor) ArchCall(returnAddr uint64) { p.RAS.ArchPush(returnAddr) }
+
+// ArchRet records a correct-path return.
+func (p *Predictor) ArchRet() { p.RAS.ArchPop() }
+
+// NoteTargetMiss counts a correct-path target misprediction (statistics).
+func (p *Predictor) NoteTargetMiss() { p.targetMiss++ }
+
+// Redirect restores all speculative state from the architectural state
+// (misprediction or discovery redirect).
+func (p *Predictor) Redirect() {
+	p.spec.CopyFrom(p.arch)
+	p.RAS.Repair()
+}
+
+// CondAccuracy returns direction-prediction accuracy over correct-path
+// conditional branches.
+func (p *Predictor) CondAccuracy() float64 {
+	if p.condLookups == 0 {
+		return 0
+	}
+	return 1 - float64(p.condMiss)/float64(p.condLookups)
+}
+
+// Mispredicts returns (direction mispredicts, target mispredicts).
+func (p *Predictor) Mispredicts() (uint64, uint64) { return p.condMiss, p.targetMiss }

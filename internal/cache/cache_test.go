@@ -1,0 +1,153 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newSmall(repl Replacement) *Cache {
+	// 4 sets x 2 ways x 64B lines = 512B.
+	return New(Config{SizeBytes: 512, Ways: 2, LineBytes: 64, Repl: repl})
+}
+
+func TestGeometry(t *testing.T) {
+	c := newSmall(LRU)
+	if c.Sets() != 4 || c.Ways() != 2 {
+		t.Fatalf("geometry %dx%d", c.Sets(), c.Ways())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	cases := []Config{
+		{SizeBytes: 512, Ways: 2, LineBytes: 60},    // non-power-of-two line
+		{SizeBytes: 0, Ways: 2, LineBytes: 64},      // zero size
+		{SizeBytes: 512, Ways: 0, LineBytes: 64},    // zero ways
+		{SizeBytes: 3 * 64, Ways: 1, LineBytes: 64}, // 3 sets
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestFillThenLookup(t *testing.T) {
+	c := newSmall(LRU)
+	addr := uint64(0x1040)
+	if c.Lookup(addr) {
+		t.Fatal("cold lookup should miss")
+	}
+	c.Fill(addr)
+	if !c.Lookup(addr) {
+		t.Fatal("lookup after fill should hit")
+	}
+	if !c.Lookup(addr + 63) {
+		t.Fatal("same-line address should hit")
+	}
+	if c.Lookup(addr + 64) {
+		t.Fatal("next line should miss")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newSmall(LRU)
+	// Three lines mapping to set 0 (set = (addr>>6)&3): addrs 0, 256, 512.
+	c.Fill(0)
+	c.Fill(256)
+	c.Lookup(0) // make line 0 MRU
+	evicted, was := c.Fill(512)
+	if !was || evicted != 256 {
+		t.Fatalf("evicted %#x (was=%v), want 0x100", evicted, was)
+	}
+	if !c.Probe(0) || c.Probe(256) || !c.Probe(512) {
+		t.Error("post-eviction contents wrong")
+	}
+}
+
+func TestRRIPEviction(t *testing.T) {
+	c := newSmall(RRIP)
+	c.Fill(0)
+	c.Lookup(0) // promote to RRPV 0
+	c.Fill(256)
+	// Victim should be 256 (inserted at long interval, never reused).
+	evicted, was := c.Fill(512)
+	if !was || evicted != 256 {
+		t.Fatalf("RRIP evicted %#x, want 0x100", evicted)
+	}
+}
+
+func TestFillIdempotent(t *testing.T) {
+	c := newSmall(LRU)
+	c.Fill(0)
+	if _, was := c.Fill(0); was {
+		t.Error("refilling a present line must not evict")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := newSmall(LRU)
+	c.Fill(0x80)
+	if !c.Invalidate(0x80) {
+		t.Fatal("invalidate should report removal")
+	}
+	if c.Probe(0x80) {
+		t.Fatal("line still present after invalidate")
+	}
+	if c.Invalidate(0x80) {
+		t.Fatal("double invalidate should report false")
+	}
+}
+
+func TestProbeDoesNotTouch(t *testing.T) {
+	c := newSmall(LRU)
+	c.Fill(0)
+	c.Fill(256)
+	c.Probe(0) // must NOT refresh line 0
+	evicted, _ := c.Fill(512)
+	if evicted != 0 {
+		t.Errorf("probe refreshed LRU state: evicted %#x, want 0", evicted)
+	}
+}
+
+func TestStatsAndHitRate(t *testing.T) {
+	c := newSmall(LRU)
+	c.Lookup(0) // miss
+	c.Fill(0)
+	c.Lookup(0) // hit
+	hits, misses, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+	if c.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v", c.HitRate())
+	}
+}
+
+// TestInclusionProperty: any line filled and never evicted must probe true.
+func TestFillProbeProperty(t *testing.T) {
+	if err := quick.Check(func(addrs []uint16) bool {
+		c := New(Config{SizeBytes: 16 << 10, Ways: 8, LineBytes: 64, Repl: LRU})
+		evicted := map[uint64]bool{}
+		for _, a16 := range addrs {
+			a := uint64(a16)
+			if v, was := c.Fill(a); was {
+				evicted[v>>6] = true
+			}
+			delete(evicted, a>>6)
+		}
+		for _, a16 := range addrs {
+			a := uint64(a16)
+			if !evicted[a>>6] && !c.Probe(a) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"uopsim/internal/pipeline"
+	"uopsim/internal/stats"
+	"uopsim/internal/workload"
+)
+
+// Ablations quantifies the design choices the paper fixes without sweeping:
+// loop cache presence, the uop-cache-to-decoder switch penalty, the
+// prediction window's not-taken branch budget, the uop cache read latency,
+// and the CLASP span bound (2 vs 3 I-cache lines). Each variant runs the
+// full machine with the best scheme (CLASP + F-PWAC) and reports UPC and
+// fetch-ratio deltas against that reference.
+func Ablations(w io.Writer, p Params) error {
+	p = p.withDefaults()
+
+	ref := Schemes(2)[4] // F-PWAC
+	type variant struct {
+		name string
+		mod  func(*pipeline.Config)
+	}
+	variants := []variant{
+		{"reference (CLASP+F-PWAC)", func(c *pipeline.Config) {}},
+		{"no loop cache", func(c *pipeline.Config) { c.Loop.Enabled = false }},
+		{"no OC->IC switch penalty", func(c *pipeline.Config) { c.OCSwitchPenalty = 0 }},
+		{"OC->IC switch penalty 3", func(c *pipeline.Config) { c.OCSwitchPenalty = 3 }},
+		{"PW not-taken budget 1", func(c *pipeline.Config) { c.Fetch.MaxNotTaken = 1 }},
+		{"PW not-taken budget 4", func(c *pipeline.Config) { c.Fetch.MaxNotTaken = 4 }},
+		{"OC read latency 1", func(c *pipeline.Config) { c.OCLatency = 1 }},
+		{"OC read latency 4", func(c *pipeline.Config) { c.OCLatency = 4 }},
+		{"CLASP span 3 lines", func(c *pipeline.Config) {
+			c.Limits.MaxICLines = 3
+			c.UopCache.MaxICLines = 3
+		}},
+		{"decode width 2", func(c *pipeline.Config) { c.DecodeWidth = 2 }},
+		{"shallow BPU runahead (4 PWs)", func(c *pipeline.Config) { c.PWQueueSize = 4 }},
+	}
+
+	// Custom jobs: the scheme/capacity key space does not fit the generic
+	// sweep, so run variants directly (still parallel per workload).
+	type res struct {
+		variant  string
+		workload string
+		m        pipeline.Metrics
+		err      error
+	}
+	type work struct {
+		vi int
+		wl string
+	}
+	var works []work
+	for vi := range variants {
+		for _, name := range p.Workloads {
+			works = append(works, work{vi, name})
+		}
+	}
+	par := p.Parallel
+	if par <= 0 {
+		par = 8
+	}
+	if par > len(works) {
+		par = len(works)
+	}
+	in := make(chan work)
+	out := make(chan res)
+	for i := 0; i < par; i++ {
+		go func() {
+			for wk := range in {
+				cfg := ref.Configure(2048)
+				variants[wk.vi].mod(&cfg)
+				r, err := runOneCfg(p, wk.wl, variants[wk.vi].name, cfg)
+				out <- res{variants[wk.vi].name, wk.wl, r.Metrics, err}
+			}
+		}()
+	}
+	go func() {
+		for _, wk := range works {
+			in <- wk
+		}
+		close(in)
+	}()
+	byKey := map[string]pipeline.Metrics{}
+	var firstErr error
+	for range works {
+		r := <-out
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		byKey[r.variant+"|"+r.workload] = r.m
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+
+	t := stats.NewTable("Ablations: design-choice sensitivity (geomean over workloads, deltas vs CLASP+F-PWAC reference)",
+		"variant", "UPC Δ", "OC ratio Δ", "mispLat Δ", "decPow Δ")
+	for _, v := range variants[1:] {
+		var upc, ratio, ml, dp []float64
+		for _, name := range p.Workloads {
+			refM, okR := byKey[variants[0].name+"|"+name]
+			m, okV := byKey[v.name+"|"+name]
+			if !okR || !okV {
+				continue
+			}
+			upc = append(upc, m.UPC/refM.UPC)
+			ratio = append(ratio, safeRatio(m.OCFetchRatio, refM.OCFetchRatio))
+			ml = append(ml, safeRatio(m.AvgMispLatency, refM.AvgMispLatency))
+			dp = append(dp, safeRatio(m.DecoderPower, refM.DecoderPower))
+		}
+		t.AddRow(v.name,
+			fmt.Sprintf("%+.2f%%", (stats.GeoMean(upc)-1)*100),
+			fmt.Sprintf("%+.2f%%", (stats.GeoMean(ratio)-1)*100),
+			fmt.Sprintf("%+.2f%%", (stats.GeoMean(ml)-1)*100),
+			fmt.Sprintf("%+.2f%%", (stats.GeoMean(dp)-1)*100))
+	}
+	_, err := fmt.Fprintln(w, t)
+	return err
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 1
+	}
+	return a / b
+}
+
+// runOneCfg mirrors runOne but with an explicit configuration.
+func runOneCfg(p Params, name, schemeName string, cfg pipeline.Config) (Run, error) {
+	prof, err := workload.ByName(name)
+	if err != nil {
+		return Run{}, err
+	}
+	wl, err := workload.Build(prof)
+	if err != nil {
+		return Run{}, err
+	}
+	sim, err := pipeline.New(cfg, wl)
+	if err != nil {
+		return Run{}, err
+	}
+	m, err := sim.RunMeasured(p.WarmupInsts, p.MeasureInsts)
+	if err != nil {
+		return Run{}, fmt.Errorf("%s/%s: %w", name, schemeName, err)
+	}
+	return Run{Workload: name, Scheme: schemeName, Metrics: m, OCStats: sim.UopCacheStats()}, nil
+}

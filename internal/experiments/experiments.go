@@ -1,0 +1,246 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (see DESIGN.md §4). Each driver runs the simulator
+// across the Table II workloads under the relevant configurations and
+// renders the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"uopsim/internal/pipeline"
+	"uopsim/internal/stats"
+	"uopsim/internal/uopcache"
+	"uopsim/internal/workload"
+)
+
+// Params controls experiment scale; zero values select defaults.
+type Params struct {
+	// WarmupInsts and MeasureInsts size each simulation run.
+	WarmupInsts, MeasureInsts uint64
+	// Workloads restricts the workload set (nil = all 13).
+	Workloads []string
+	// Parallel runs up to this many simulations concurrently (0 = all CPUs).
+	Parallel int
+}
+
+func (p Params) withDefaults() Params {
+	if p.WarmupInsts == 0 {
+		p.WarmupInsts = 100_000
+	}
+	if p.MeasureInsts == 0 {
+		p.MeasureInsts = 300_000
+	}
+	if len(p.Workloads) == 0 {
+		p.Workloads = workload.Names()
+	}
+	return p
+}
+
+// Scheme identifies one uop cache design point from §V.
+type Scheme struct {
+	// Name is the label used in figures.
+	Name string
+	// CLASP enables cache-line-boundary-agnostic entries (§V-A).
+	CLASP bool
+	// MaxEntriesPerLine enables compaction when > 1 (§V-B).
+	MaxEntriesPerLine int
+	// Alloc selects the compaction allocation policy.
+	Alloc uopcache.Alloc
+}
+
+// Schemes returns the paper's five design points in evaluation order. Per
+// §VI-A, all compaction results have CLASP enabled.
+func Schemes(maxEntries int) []Scheme {
+	if maxEntries < 2 {
+		maxEntries = 2
+	}
+	return []Scheme{
+		{Name: "baseline"},
+		{Name: "CLASP", CLASP: true},
+		{Name: "RAC", CLASP: true, MaxEntriesPerLine: maxEntries, Alloc: uopcache.AllocRAC},
+		{Name: "PWAC", CLASP: true, MaxEntriesPerLine: maxEntries, Alloc: uopcache.AllocPWAC},
+		{Name: "F-PWAC", CLASP: true, MaxEntriesPerLine: maxEntries, Alloc: uopcache.AllocFPWAC},
+	}
+}
+
+// Configure returns the pipeline configuration for a scheme at the given uop
+// cache capacity.
+func (s Scheme) Configure(capacityUops int) pipeline.Config {
+	cfg := pipeline.DefaultConfig()
+	cfg.UopCache.CapacityUops = capacityUops
+	if s.CLASP {
+		cfg.Limits.MaxICLines = 2
+		cfg.UopCache.MaxICLines = 2
+	}
+	if s.MaxEntriesPerLine > 1 {
+		cfg.UopCache.MaxEntriesPerLine = s.MaxEntriesPerLine
+		cfg.UopCache.Alloc = s.Alloc
+	}
+	return cfg
+}
+
+// Run is one completed simulation.
+type Run struct {
+	Workload string
+	Suite    string
+	Scheme   string
+	Capacity int
+	Metrics  pipeline.Metrics
+	OCStats  *uopcache.Stats
+}
+
+// runOne builds the workload fresh (simulations are independent) and runs it.
+func runOne(p Params, name string, sc Scheme, capacity int) (Run, error) {
+	prof, err := workload.ByName(name)
+	if err != nil {
+		return Run{}, err
+	}
+	wl, err := workload.Build(prof)
+	if err != nil {
+		return Run{}, err
+	}
+	sim, err := pipeline.New(sc.Configure(capacity), wl)
+	if err != nil {
+		return Run{}, err
+	}
+	m, err := sim.RunMeasured(p.WarmupInsts, p.MeasureInsts)
+	if err != nil {
+		return Run{}, fmt.Errorf("%s/%s/%d: %w", name, sc.Name, capacity, err)
+	}
+	return Run{
+		Workload: name,
+		Suite:    prof.Suite,
+		Scheme:   sc.Name,
+		Capacity: capacity,
+		Metrics:  m,
+		OCStats:  sim.UopCacheStats(),
+	}, nil
+}
+
+// job is one simulation request for the parallel sweep runner.
+type job struct {
+	workload string
+	scheme   Scheme
+	capacity int
+}
+
+// sweep executes all jobs, in parallel, returning runs keyed by
+// workload/scheme/capacity.
+func sweep(p Params, jobs []job) (map[string]Run, error) {
+	type result struct {
+		run Run
+		err error
+	}
+	par := p.Parallel
+	if par <= 0 {
+		par = 8
+	}
+	if par > len(jobs) {
+		par = len(jobs)
+	}
+	in := make(chan job)
+	out := make(chan result)
+	for w := 0; w < par; w++ {
+		go func() {
+			for j := range in {
+				r, err := runOne(p, j.workload, j.scheme, j.capacity)
+				out <- result{r, err}
+			}
+		}()
+	}
+	go func() {
+		for _, j := range jobs {
+			in <- j
+		}
+		close(in)
+	}()
+	runs := make(map[string]Run, len(jobs))
+	var firstErr error
+	for range jobs {
+		res := <-out
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		}
+		runs[key(res.run.Workload, res.run.Scheme, res.run.Capacity)] = res.run
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return runs, nil
+}
+
+func key(wl, scheme string, capacity int) string {
+	return fmt.Sprintf("%s|%s|%d", wl, scheme, capacity)
+}
+
+// Registry maps experiment IDs to their drivers.
+type Driver func(w io.Writer, p Params) error
+
+// All returns the experiment registry in paper order.
+func All() []struct {
+	ID     string
+	Title  string
+	Driver Driver
+} {
+	return []struct {
+		ID     string
+		Title  string
+		Driver Driver
+	}{
+		{"tableII", "Table II: workloads and branch MPKI", TableII},
+		{"fig3", "Fig 3: normalized UPC and decoder power vs uop cache capacity", Fig3},
+		{"fig4", "Fig 4: normalized OC fetch ratio, dispatch bandwidth, mispredict latency vs capacity", Fig4},
+		{"fig5", "Fig 5: uop cache entry size distribution", Fig5},
+		{"fig6", "Fig 6: entries terminated by a predicted taken branch", Fig6},
+		{"fig9", "Fig 9: entries spanning I-cache line boundaries (CLASP)", Fig9},
+		{"fig12", "Fig 12: uop cache entries per PW distribution", Fig12},
+		{"fig15", "Fig 15: normalized decoder power per scheme", Fig15},
+		{"fig16", "Fig 16: UPC improvement per scheme (2 entries/line)", Fig16},
+		{"fig17", "Fig 17: fetch ratio, dispatch bandwidth, mispredict latency per scheme", Fig17},
+		{"fig18", "Fig 18: compacted uop cache lines ratio", Fig18},
+		{"fig19", "Fig 19: compaction allocation distribution", Fig19},
+		{"fig20", "Fig 20: UPC improvement per scheme (3 entries/line)", Fig20},
+		{"fig21", "Fig 21: OC fetch ratio (3 entries/line)", Fig21},
+		{"fig22", "Fig 22: UPC improvement over a 4K-uop baseline", Fig22},
+		{"ablations", "Ablations: design-choice sensitivity (loop cache, switch penalty, NT budget, OC latency, CLASP span, widths)", Ablations},
+		{"smt", "SMT: shared uop cache, per-thread compaction policies (the paper's §V-B1 motivation for PWAC)", SMT},
+	}
+}
+
+// ByID returns the driver for an experiment ID.
+func ByID(id string) (Driver, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e.Driver, true
+		}
+	}
+	return nil, false
+}
+
+// geoMeanImprovement computes the geometric-mean percentage improvement of
+// xs over baselines.
+func geoMeanImprovement(xs, baselines []float64) float64 {
+	ratios := make([]float64, 0, len(xs))
+	for i := range xs {
+		if baselines[i] > 0 {
+			ratios = append(ratios, xs[i]/baselines[i])
+		}
+	}
+	return (stats.GeoMean(ratios) - 1) * 100
+}
+
+// sortedWorkloads returns the workload list in the paper's figure order.
+func sortedWorkloads(p Params) []string {
+	order := map[string]int{}
+	for i, n := range workload.Names() {
+		order[n] = i
+	}
+	ws := append([]string(nil), p.Workloads...)
+	sort.Slice(ws, func(i, j int) bool { return order[ws[i]] < order[ws[j]] })
+	return ws
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"uopsim/internal/uopcache"
+)
+
+// tinyParams keeps experiment tests fast: two workloads, short runs.
+func tinyParams() Params {
+	return Params{
+		WarmupInsts:  5_000,
+		MeasureInsts: 20_000,
+		Workloads:    []string{"bm_ds", "redis"},
+		Parallel:     4,
+	}
+}
+
+func TestSchemesShape(t *testing.T) {
+	ss := Schemes(2)
+	if len(ss) != 5 {
+		t.Fatalf("schemes = %d, want 5", len(ss))
+	}
+	names := []string{"baseline", "CLASP", "RAC", "PWAC", "F-PWAC"}
+	for i, want := range names {
+		if ss[i].Name != want {
+			t.Errorf("scheme %d = %q, want %q", i, ss[i].Name, want)
+		}
+	}
+	if ss[0].CLASP || ss[0].MaxEntriesPerLine != 0 {
+		t.Error("baseline must be unmodified")
+	}
+	for _, s := range ss[2:] {
+		if !s.CLASP || s.MaxEntriesPerLine != 2 {
+			t.Errorf("compaction scheme %s misconfigured: %+v", s.Name, s)
+		}
+	}
+	if ss[4].Alloc != uopcache.AllocFPWAC {
+		t.Error("F-PWAC alloc wrong")
+	}
+}
+
+func TestSchemeConfigureValidates(t *testing.T) {
+	for _, sc := range Schemes(3) {
+		for _, c := range Capacities {
+			cfg := sc.Configure(c)
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("%s@%d: %v", sc.Name, c, err)
+			}
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(all))
+	}
+	for _, e := range all {
+		if d, ok := ByID(e.ID); !ok || d == nil {
+			t.Errorf("ByID(%q) failed", e.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown ID should not resolve")
+	}
+}
+
+func TestSweepProducesAllRuns(t *testing.T) {
+	p := tinyParams()
+	base := Schemes(2)[0]
+	jobs := []job{{"bm_ds", base, 2048}, {"redis", base, 2048}}
+	runs, err := sweep(p, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	r := runs[key("bm_ds", "baseline", 2048)]
+	if r.Metrics.Insts == 0 || r.OCStats == nil {
+		t.Error("run payload incomplete")
+	}
+}
+
+func TestSweepSurfacesErrors(t *testing.T) {
+	p := tinyParams()
+	if _, err := sweep(p, []job{{"not_a_workload", Schemes(2)[0], 2048}}); err == nil {
+		t.Error("unknown workload must error")
+	}
+}
+
+func TestDriversRender(t *testing.T) {
+	p := tinyParams()
+	for _, e := range []struct {
+		id   string
+		want string
+	}{
+		{"tableII", "Table II"},
+		{"fig5", "[1-19]B"},
+		{"fig6", "taken"},
+		{"fig16", "G.Mean"},
+		{"fig19", "PWAC"},
+	} {
+		d, _ := ByID(e.id)
+		var buf bytes.Buffer
+		if err := d(&buf, p); err != nil {
+			t.Fatalf("%s: %v", e.id, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, e.want) {
+			t.Errorf("%s output missing %q:\n%s", e.id, e.want, out)
+		}
+		// Both workloads appear as rows.
+		if !strings.Contains(out, "bm_ds") || !strings.Contains(out, "redis") {
+			t.Errorf("%s missing workload rows", e.id)
+		}
+	}
+}
+
+func TestGeoMeanImprovement(t *testing.T) {
+	got := geoMeanImprovement([]float64{1.1, 1.1}, []float64{1.0, 1.0})
+	if got < 9.9 || got > 10.1 {
+		t.Errorf("improvement = %v, want ~10", got)
+	}
+}
+
+func TestSortedWorkloadsOrder(t *testing.T) {
+	p := Params{Workloads: []string{"redis", "sp_log_regr"}}
+	ws := sortedWorkloads(p)
+	if ws[0] != "sp_log_regr" || ws[1] != "redis" {
+		t.Errorf("order = %v", ws)
+	}
+}
+
+func TestAblationsDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var buf bytes.Buffer
+	p := Params{WarmupInsts: 3_000, MeasureInsts: 10_000, Workloads: []string{"bm_ds"}, Parallel: 4}
+	if err := Ablations(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"no loop cache", "CLASP span 3 lines", "decode width 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing variant %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package mem
+
+import "testing"
+
+func newH() *Hierarchy { return New(DefaultConfig()) }
+
+func TestLoadLatencyLevels(t *testing.T) {
+	h := newH()
+	addr := uint64(0x10_0000)
+	if lat := h.Load(addr); lat != LatMem {
+		t.Errorf("cold load latency = %d, want %d", lat, LatMem)
+	}
+	if lat := h.Load(addr); lat != LatL1 {
+		t.Errorf("warm load latency = %d, want %d", lat, LatL1)
+	}
+}
+
+func TestLoadL2Path(t *testing.T) {
+	h := newH()
+	addr := uint64(0x20_0000)
+	h.Load(addr)
+	// Evict from L1D by filling its set with conflicting lines (L1D: 32KB,
+	// 4-way, 128 sets -> stride 128*64 = 8192 maps to the same set).
+	for i := 1; i <= 4; i++ {
+		h.Load(addr + uint64(i*8192))
+	}
+	if lat := h.Load(addr); lat != LatL2 {
+		t.Errorf("L1-evicted load latency = %d, want %d (L2 hit)", lat, LatL2)
+	}
+}
+
+func TestFetchInstWarm(t *testing.T) {
+	h := newH()
+	line := uint64(0x40_0000)
+	if lat := h.FetchInst(line); lat == 0 {
+		t.Error("cold instruction fetch should cost something")
+	}
+	if lat := h.FetchInst(line); lat != 0 {
+		t.Errorf("warm L1I fetch latency = %d, want 0", lat)
+	}
+}
+
+func TestIPrefetchNextLines(t *testing.T) {
+	h := newH()
+	line := uint64(0x50_0000)
+	h.FetchInst(line)
+	// DefaultConfig prefetches 2 sequential lines; they should now be L1I
+	// hits.
+	if lat := h.FetchInst(line + 64); lat != 0 {
+		t.Errorf("next line not prefetched: latency %d", lat)
+	}
+	if lat := h.FetchInst(line + 128); lat != 0 {
+		t.Errorf("second next line not prefetched: latency %d", lat)
+	}
+}
+
+func TestExplicitPrefetch(t *testing.T) {
+	h := newH()
+	line := uint64(0x60_0000)
+	h.PrefetchInst(line)
+	if lat := h.FetchInst(line); lat != 0 {
+		t.Errorf("prefetched line fetch latency = %d", lat)
+	}
+}
+
+func TestStoreInstallsLine(t *testing.T) {
+	h := newH()
+	addr := uint64(0x70_0000)
+	h.Store(addr)
+	if lat := h.Load(addr); lat != LatL1 {
+		t.Errorf("load after store latency = %d, want %d", lat, LatL1)
+	}
+}
+
+func TestDRAMAccounting(t *testing.T) {
+	h := newH()
+	h.DPrefetch = false // isolate demand accesses from prefetch traffic
+	before := h.DRAMAccesses()
+	h.Load(0x123_0000)
+	if h.DRAMAccesses() != before+1 {
+		t.Errorf("cold miss should hit DRAM once, got %d", h.DRAMAccesses()-before)
+	}
+	h.Load(0x123_0000)
+	if h.DRAMAccesses() != before+1 {
+		t.Error("warm load must not touch DRAM")
+	}
+}
+
+func TestDataPrefetchNextLine(t *testing.T) {
+	h := newH()
+	addr := uint64(0x80_0000)
+	h.Load(addr) // miss; prefetches addr+64 into L2
+	// Evict nothing; next-line access should now be at most L2 latency.
+	if lat := h.Load(addr + 64); lat > LatL2 {
+		t.Errorf("next-line load latency = %d, want <= %d", lat, LatL2)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	if !(LatL1 < LatL2 && LatL2 < LatL3 && LatL3 < LatMem) {
+		t.Fatal("latency constants must be monotone")
+	}
+}

@@ -1,0 +1,692 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"uopsim/internal/bpred"
+	"uopsim/internal/fetch"
+	"uopsim/internal/isa"
+	"uopsim/internal/loopcache"
+	"uopsim/internal/uopq"
+)
+
+// counters are the pipeline-owned raw observables; Metrics derives the
+// paper's figures from snapshots of these.
+type counters struct {
+	uopsOC, uopsIC, uopsLC uint64
+	insts                  uint64 // correct-path instructions dispatched
+	branches               uint64 // correct-path branches consumed
+	mispredicts            uint64
+	mispLatSum             uint64
+	decRedirects           uint64
+	resyncs                uint64
+	decodedInsts           uint64
+	wrongPathDecoded       uint64
+	dispatchStallWP        uint64 // cycles dispatch stalled on a wrong-path head
+
+	// Mispredict composition diagnostics.
+	mispCondPredicted uint64 // TAGE got the direction wrong
+	mispCondUnknown   uint64 // BTB-unknown conditional that was taken
+	mispRet           uint64
+	mispIndirect      uint64
+	mispOther         uint64
+
+	// Dispatch stall composition (first blocked slot per cycle).
+	stallEmptyUQ uint64
+	stallBackend uint64
+	robOccSum    uint64
+
+	// Mispredict latency decomposition.
+	mispFetchToDisp uint64
+	mispDispToDone  uint64
+
+	// PW absorption diagnostics (entry overshoot swallowing windows).
+	absorbedPWs   uint64
+	absorbedConds uint64
+}
+
+// step advances the machine one cycle.
+func (s *Sim) step() {
+	c := s.cycle
+	s.be.Tick(c)
+	s.be.Commit(c)
+	s.fireExecRedirect(c)
+	s.dispatch(c)
+	s.drain(c)
+	s.fetchStep(c)
+	s.bpuStep(c)
+	if !s.orOK && s.redirect == nil {
+		// A finite (replayed) oracle has ended: instructions fetched past
+		// the last record are wrong-path with no misprediction left to
+		// squash them, so discard them as they reach the queue head.
+		if u, ok := s.uq.Peek(); ok && u.WrongPath {
+			s.uq.Flush()
+		}
+	}
+	s.cycle++
+}
+
+func (s *Sim) fireExecRedirect(c int64) {
+	r := s.redirect
+	if r == nil || c < r.fire {
+		return
+	}
+	s.m.mispLatSum += uint64(r.fire - r.fetchCycle)
+	s.flushFrontEnd(c, r.target, true)
+}
+
+func (s *Sim) dispatch(c int64) {
+	s.m.robOccSum += uint64(s.be.ROBOccupancy())
+	for n := 0; n < s.cfg.DispatchWidth; n++ {
+		u, ok := s.uq.Peek()
+		if !ok {
+			if n == 0 {
+				s.m.stallEmptyUQ++
+			}
+			return
+		}
+		if u.WrongPath {
+			// The back end has nothing architectural to do until the
+			// pending redirect resolves; wrong-path uops are squashed then.
+			s.m.dispatchStallWP++
+			return
+		}
+		if !s.be.CanDispatch() {
+			if n == 0 {
+				s.m.stallBackend++
+			}
+			return
+		}
+		s.uq.Pop()
+		done := s.be.Dispatch(c, u)
+		switch u.Source {
+		case uopq.SrcUopCache:
+			s.m.uopsOC++
+		case uopq.SrcDecoder:
+			s.m.uopsIC++
+		case uopq.SrcLoopCache:
+			s.m.uopsLC++
+		}
+		if u.LastOfInst {
+			s.m.insts++
+			if u.Mispredicted {
+				if s.redirect != nil {
+					panic("pipeline: overlapping mispredict redirects")
+				}
+				s.redirect = &pendingRedirect{fire: done + 1, target: u.ActualNext, fetchCycle: u.FetchCycle}
+				s.m.mispFetchToDisp += uint64(c - u.FetchCycle)
+				s.m.mispDispToDone += uint64(done - c)
+			}
+		}
+	}
+}
+
+// drain moves completed items from the three supply pipes into the uop queue
+// in global fetch (sequence) order.
+func (s *Sim) drain(c int64) {
+	popsDC, popsOC, popsLC := 0, 0, 0
+	for {
+		if popsOC < 1 {
+			if g, ok := s.ocPipe.PeekReady(c); ok && g.items[0].seq == s.nextPopSeq {
+				if s.uq.Free() < g.uops {
+					return
+				}
+				s.ocPipe.PopReady(c)
+				popsOC++
+				if s.popGroup(c, g) {
+					return // redirect fired
+				}
+				continue
+			}
+		}
+		if popsLC < 1 {
+			if g, ok := s.lcPipe.PeekReady(c); ok && g.items[0].seq == s.nextPopSeq {
+				if s.uq.Free() < g.uops {
+					return
+				}
+				s.lcPipe.PopReady(c)
+				popsLC++
+				if s.popGroup(c, g) {
+					return
+				}
+				continue
+			}
+		}
+		if popsDC < s.cfg.DecodeWidth {
+			if it, ok := s.dcPipe.PeekReady(c); ok && it.seq == s.nextPopSeq {
+				if s.uq.Free() < int(it.inst.NumUops) {
+					return
+				}
+				s.dcPipe.PopReady(c)
+				popsDC++
+				s.dec.NoteDecode(c, 1, int(it.inst.NumUops))
+				s.m.decodedInsts++
+				if !it.correct {
+					s.m.wrongPathDecoded++
+				}
+				s.ocb.Add(it.inst, it.pwID, it.pwInstance, it.pwEndTaken)
+				s.pushUops(it)
+				s.nextPopSeq = it.seq + 1
+				if it.decRedirect {
+					s.ocb.TerminateTaken()
+					s.m.decRedirects++
+					s.flushFrontEnd(c, it.rec.Next, false)
+					return
+				}
+				continue
+			}
+		}
+		return
+	}
+}
+
+// popGroup pushes a group's uops and handles an embedded decode-style
+// redirect (BTB-unknown direct jump read out of the uop or loop cache). It
+// reports whether a redirect fired.
+func (s *Sim) popGroup(c int64, g fGroup) bool {
+	for _, it := range g.items {
+		s.pushUops(it)
+		s.nextPopSeq = it.seq + 1
+		if it.decRedirect {
+			s.m.decRedirects++
+			s.flushFrontEnd(c, it.rec.Next, false)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Sim) pushUops(it fItem) {
+	n := int(it.inst.NumUops)
+	for i := 0; i < n; i++ {
+		u := uopq.Uop{
+			Inst:       it.inst,
+			UopIdx:     uint8(i),
+			LastOfInst: i == n-1,
+			Source:     it.src,
+			FetchCycle: it.fetchCycle,
+			WrongPath:  !it.correct,
+		}
+		if it.correct {
+			u.MemAddr = it.rec.MemAddr
+			if u.LastOfInst && it.inst.IsBranch() {
+				u.ActualTaken = it.rec.Taken
+				u.ActualNext = it.rec.Next
+				u.Mispredicted = it.misp
+			}
+		}
+		if !s.uq.Push(u) {
+			panic("pipeline: uop queue overflow (space was checked)")
+		}
+	}
+}
+
+// flushFrontEnd redirects fetch to target. flushUQ distinguishes a full
+// misprediction recovery (uop queue + accumulation buffer discarded) from a
+// decode-time redirect (younger fetch state only).
+func (s *Sim) flushFrontEnd(c int64, target uint64, flushUQ bool) {
+	s.ocPipe.Flush()
+	s.dcPipe.Flush()
+	s.lcPipe.Flush()
+	if flushUQ {
+		s.uq.Flush()
+		s.ocb.Flush()
+	}
+	s.pred.Redirect()
+	s.pwQueue = s.pwQueue[:0]
+	s.pw = nil
+	s.lcRemaining = nil
+	s.bpuPC, s.fetchAddr, s.curAddr = target, target, target
+	s.wrongPath = false
+	s.nextPopSeq = s.seq
+	s.fetchStall = c + 1
+	s.bpuStall = c + 1
+	s.lastICLine = ^uint64(0)
+	s.redirect = nil
+}
+
+func (s *Sim) fetchStep(c int64) {
+	if s.fetchStall > c {
+		return
+	}
+	if !s.orOK {
+		return // finite (replayed) oracle exhausted: stop fetching, drain
+	}
+	if s.pw == nil && !s.acquirePW(c) {
+		return
+	}
+	switch s.pwMode {
+	case modeLC:
+		s.lcStep(c)
+	case modeOC:
+		s.ocStep(c)
+	case modeIC:
+		s.icStep(c)
+	}
+}
+
+func (s *Sim) acquirePW(c int64) bool {
+	for len(s.pwQueue) > 0 {
+		pw := s.pwQueue[0]
+		s.pwQueue = s.pwQueue[1:]
+		if s.fetchAddr > pw.Start {
+			// A previous uop cache entry overshot this window (sequential
+			// flow absorbed by a multi-PW entry).
+			if pw.EndsTaken && pw.TakenPC < s.fetchAddr {
+				// The overshoot swallowed this window's predicted taken
+				// branch: the BPU speculated down a path the uop cache
+				// contradicted. Re-steer the BPU from the entry end.
+				s.resync(c)
+				return false
+			}
+			if !pw.EndsTaken && s.fetchAddr >= pw.End {
+				s.m.absorbedPWs++
+				s.m.absorbedConds += uint64(len(pw.Conds))
+				continue // window fully absorbed
+			}
+		}
+		cp := pw
+		s.pw = &cp
+		s.curAddr = pw.Start
+		if s.fetchAddr > s.curAddr {
+			s.curAddr = s.fetchAddr
+		}
+		s.pwFromOC = false
+		if loop, ok := s.lc.Lookup(s.curAddr); ok && pw.EndsTaken && pw.TakenPC == loop.BranchPC {
+			s.pwMode = modeLC
+			s.prepareLC(c, loop)
+		} else {
+			s.pwMode = modeOC
+		}
+		return true
+	}
+	return false
+}
+
+func (s *Sim) resync(c int64) {
+	s.m.resyncs++
+	s.pwQueue = s.pwQueue[:0]
+	s.pw = nil
+	s.bpuPC = s.fetchAddr
+	s.fetchStall = c + 1
+	s.bpuStall = c + 1
+}
+
+// ocStep dispatches one uop cache entry per cycle. An entry can cover uops
+// from several sequential prediction windows (§II-B2); the emission walks a
+// cursor over the current window plus queued sequential successors so that
+// branches inside the overshoot region use their own windows' predictions.
+func (s *Sim) ocStep(c int64) {
+	if !s.ocPipe.CanPush(c) {
+		return
+	}
+	entry, hit := s.oc.Lookup(s.curAddr)
+	if !hit {
+		s.pwMode = modeIC
+		if s.cfg.OCSwitchPenalty > 0 {
+			// Resume fetching OCSwitchPenalty bubble cycles from now.
+			s.fetchStall = c + 1 + int64(s.cfg.OCSwitchPenalty)
+		}
+		return
+	}
+	s.pwFromOC = true
+
+	var g fGroup
+	cur := s.pw
+	consumed := 0 // PWs taken from the queue beyond s.pw
+	finishedTaken := false
+	outOfGuidance := false
+	for _, id := range entry.InstIDs {
+		in := s.prog.Inst(id)
+		if in.Addr < s.curAddr {
+			continue
+		}
+		// Advance the window cursor across sequential window boundaries.
+		for cur != nil && !cur.EndsTaken && in.Addr >= cur.End {
+			if consumed < len(s.pwQueue) && s.pwQueue[consumed].Start == cur.End {
+				cur = &s.pwQueue[consumed]
+				consumed++
+			} else {
+				cur = nil
+			}
+		}
+		if cur == nil {
+			outOfGuidance = true
+			break // the BPU has not speculated this far yet
+		}
+		if cur.EndsTaken && in.Addr > cur.TakenPC {
+			break // drop uops past the window's predicted taken branch
+		}
+		it := s.makeItem(c, in, uopq.SrcUopCache, cur)
+		g.items = append(g.items, it)
+		g.uops += int(in.NumUops)
+		if cur.EndsTaken && in.Addr == cur.TakenPC {
+			finishedTaken = true
+			break
+		}
+	}
+	if len(g.items) == 0 {
+		s.pwMode = modeIC
+		return
+	}
+	s.ocPipe.Push(c, g)
+	end := g.items[len(g.items)-1].inst.End()
+
+	// Commit cursor state: windows strictly before cur are fully fetched.
+	if consumed > 0 {
+		cp := s.pwQueue[consumed-1]
+		s.pwQueue = s.pwQueue[consumed:]
+		s.pw = &cp
+	}
+	cur2 := s.pw // cur aliases either old s.pw or the new copy's original slot
+	switch {
+	case finishedTaken:
+		s.finishPW(cur2.NextPC)
+	case outOfGuidance || end >= cur2.End:
+		// Sequential completion of every covered window (a trailing
+		// straddling instruction may push end past the line boundary).
+		s.finishPW(end)
+	default:
+		s.curAddr = end // same window continues next cycle (§II-B3)
+	}
+}
+
+func (s *Sim) icStep(c int64) {
+	budget := s.cfg.ICFetchBytes
+	pw := s.pw
+	for budget > 0 {
+		if !s.dcPipe.CanPush(c) {
+			return
+		}
+		in := s.prog.At(s.curAddr)
+		if in == nil {
+			// Wrong-path fetch ran off the instruction map; idle until the
+			// pending redirect arrives.
+			s.fetchStall = c + 1
+			return
+		}
+		line := s.curAddr &^ 63
+		if line != s.lastICLine {
+			lat := s.hier.FetchInst(line)
+			s.lastICLine = line
+			if lat > 0 {
+				s.fetchStall = c + 1 + int64(lat) // lat bubble cycles
+				return
+			}
+		}
+		it := s.makeItem(c, in, uopq.SrcDecoder, pw)
+		s.dcPipe.Push(c, it)
+		budget -= int(in.Len)
+		s.curAddr = in.End()
+		if pw.EndsTaken && in.Addr == pw.TakenPC {
+			s.finishPW(pw.NextPC)
+			return
+		}
+		if s.curAddr >= pw.End {
+			s.finishPW(s.curAddr)
+			return
+		}
+	}
+}
+
+func (s *Sim) prepareLC(c int64, loop *loopcache.Loop) {
+	pw := s.pw
+	s.lcRemaining = s.lcRemaining[:0]
+	for _, id := range loop.InstIDs {
+		in := s.prog.Inst(id)
+		s.lcRemaining = append(s.lcRemaining, s.makeItem(c, in, uopq.SrcLoopCache, pw))
+	}
+}
+
+func (s *Sim) lcStep(c int64) {
+	if !s.lcPipe.CanPush(c) {
+		return
+	}
+	var g fGroup
+	for len(s.lcRemaining) > 0 {
+		it := s.lcRemaining[0]
+		if g.uops+int(it.inst.NumUops) > 8 && len(g.items) > 0 {
+			break
+		}
+		it.fetchCycle = c
+		g.items = append(g.items, it)
+		g.uops += int(it.inst.NumUops)
+		s.lcRemaining = s.lcRemaining[1:]
+	}
+	if len(g.items) == 0 {
+		s.pwMode = modeOC // defensive: empty loop body
+		return
+	}
+	s.lc.NoteServed(g.uops)
+	s.lcPipe.Push(c, g)
+	if len(s.lcRemaining) == 0 {
+		s.finishPW(s.pw.NextPC)
+	}
+}
+
+func (s *Sim) finishPW(next uint64) {
+	pw := s.pw
+	if pw.EndsTaken && pw.TerminalKind == isa.BranchCond && pw.NextPC == pw.Start && next == pw.NextPC {
+		if s.lc.ObserveBackwardTaken(pw.TakenPC, pw.NextPC) {
+			s.captureLoop(pw)
+		}
+	} else {
+		s.lc.ObserveOther()
+	}
+	s.fetchAddr = next
+	s.pw = nil
+}
+
+// captureLoop statically extracts the straight-line body [pw.Start,
+// pw.TakenPC] and installs it into the loop cache when eligible.
+func (s *Sim) captureLoop(pw *fetch.PW) {
+	var ids []uint32
+	uops := 0
+	addr := pw.Start
+	for {
+		in := s.prog.At(addr)
+		if in == nil {
+			return
+		}
+		ids = append(ids, in.ID)
+		uops += int(in.NumUops)
+		if uops > s.lc.MaxUops() {
+			return
+		}
+		if in.Addr == pw.TakenPC {
+			break
+		}
+		if in.IsBranch() {
+			return // interior control flow: not a loop-buffer loop
+		}
+		addr = in.End()
+	}
+	s.lc.Install(loopcache.Loop{Start: pw.Start, BranchPC: pw.TakenPC, InstIDs: ids, NumUops: uops})
+}
+
+func (s *Sim) bpuStep(c int64) {
+	if s.bpuStall > c || len(s.pwQueue) >= s.cfg.PWQueueSize {
+		return
+	}
+	pw := s.pwb.Build(s.bpuPC)
+	if pw.Penalty > 0 {
+		s.bpuStall = c + int64(pw.Penalty)
+	}
+	s.hier.PrefetchInst(pw.Start)
+	s.pwQueue = append(s.pwQueue, pw)
+	s.bpuPC = pw.NextPC
+}
+
+// makeItem stamps one fetched instruction: sequence number, prediction
+// context, oracle matching, correct-path training and divergence detection.
+func (s *Sim) makeItem(c int64, in *isa.Inst, src uopq.Source, pw *fetch.PW) fItem {
+	it := fItem{
+		seq:        s.seq,
+		inst:       in,
+		fetchCycle: c,
+		src:        src,
+		pwID:       pw.ID,
+		pwInstance: pw.Instance,
+	}
+	s.seq++
+
+	predicted := false
+	var condPred bpred.Pred
+	if in.IsBranch() {
+		if pw.EndsTaken && in.Addr == pw.TakenPC {
+			it.predictedNext = pw.NextPC
+			it.pwEndTaken = true
+			predicted = true
+			if in.Branch == isa.BranchCond {
+				if ca := findCond(pw, in.Addr); ca != nil {
+					condPred = ca.Pred
+				} else {
+					predicted = false
+				}
+			}
+		} else {
+			it.predictedNext = in.End() // predicted (or implicit) not-taken
+			if in.Branch == isa.BranchCond {
+				if ca := findCond(pw, in.Addr); ca != nil {
+					predicted = true
+					condPred = ca.Pred
+				}
+			}
+		}
+	} else {
+		it.predictedNext = in.End()
+	}
+
+	if !s.wrongPath && s.orOK && in.Addr == s.nextOraclePC && s.orHead.InstID == in.ID {
+		it.correct = true
+		it.rec = s.orHead
+		s.advanceOracle()
+		s.nextOraclePC = it.rec.Next
+		if s.OnConsume != nil {
+			s.OnConsume(it.rec)
+		}
+		s.consumeCorrect(&it, predicted, condPred)
+	}
+	return it
+}
+
+func findCond(pw *fetch.PW, pc uint64) *fetch.CondAt {
+	for i := range pw.Conds {
+		if pw.Conds[i].PC == pc {
+			return &pw.Conds[i]
+		}
+	}
+	return nil
+}
+
+// consumeCorrect trains the predictors with the architectural outcome and
+// classifies divergences (misprediction vs decode-time redirect).
+func (s *Sim) consumeCorrect(it *fItem, predicted bool, condPred bpred.Pred) {
+	in := it.inst
+	if !in.IsBranch() {
+		return
+	}
+	s.m.branches++
+	rec := it.rec
+
+	switch in.Branch {
+	case isa.BranchCall, isa.BranchIndirectCall:
+		s.pred.ArchCall(in.End())
+	case isa.BranchRet:
+		s.pred.ArchRet()
+	}
+
+	switch in.Branch {
+	case isa.BranchCond:
+		if predicted {
+			s.pred.UpdateCond(in.Addr, condPred, rec.Taken)
+			s.pred.ArchShift(rec.Taken)
+			if rec.Taken {
+				s.pred.TrainTarget(in.Addr, in.Branch, in.Target, in.Len)
+			}
+		} else if rec.Taken {
+			// Discovered: enters the BTB so future windows predict it.
+			s.pred.TrainTarget(in.Addr, in.Branch, in.Target, in.Len)
+		}
+	case isa.BranchJump, isa.BranchCall:
+		s.pred.TrainTarget(in.Addr, in.Branch, in.Target, in.Len)
+		if predicted {
+			s.pred.ArchShift(true)
+		}
+	case isa.BranchRet:
+		s.pred.TrainTarget(in.Addr, in.Branch, 0, in.Len)
+		if predicted {
+			s.pred.ArchShift(true)
+		}
+	case isa.BranchIndirect, isa.BranchIndirectCall:
+		s.pred.TrainTarget(in.Addr, in.Branch, rec.Next, in.Len)
+		if predicted {
+			s.pred.ArchShift(true)
+		}
+	}
+
+	if it.predictedNext != rec.Next {
+		s.wrongPath = true
+		if (in.Branch == isa.BranchJump || in.Branch == isa.BranchCall) && !predicted {
+			// The decoder (or uop cache read-out) identifies a direct
+			// unconditional transfer and redirects without executing it.
+			it.decRedirect = true
+		} else {
+			it.misp = true
+			s.m.mispredicts++
+			switch {
+			case in.Branch == isa.BranchCond && predicted:
+				s.m.mispCondPredicted++
+			case in.Branch == isa.BranchCond:
+				s.m.mispCondUnknown++
+			case in.Branch == isa.BranchRet:
+				s.m.mispRet++
+				s.pred.NoteTargetMiss()
+			case in.Branch.IsIndirect():
+				s.m.mispIndirect++
+				s.pred.NoteTargetMiss()
+			default:
+				s.m.mispOther++
+				s.pred.NoteTargetMiss()
+			}
+		}
+	}
+}
+
+// Run advances the simulation until n correct-path instructions have been
+// dispatched, with a generous cycle bound to catch livelock bugs. With a
+// finite (replayed) oracle, Run stops early once the trace is exhausted and
+// the machine has drained.
+func (s *Sim) Run(n uint64) error {
+	target := s.m.insts + n
+	bound := s.cycle + int64(n)*200 + 1_000_000
+	for s.m.insts < target {
+		if !s.orOK && s.drained() {
+			return nil
+		}
+		if s.cycle > bound {
+			return fmt.Errorf("pipeline: exceeded cycle bound at %d insts of %d (livelock?)", s.m.insts, target)
+		}
+		s.step()
+	}
+	return nil
+}
+
+// RunToEnd runs a finite (replayed) oracle to exhaustion and drains the
+// machine. It errors on unbounded oracles after a safety limit.
+func (s *Sim) RunToEnd() error {
+	bound := s.cycle + 500_000_000
+	for !(!s.orOK && s.drained()) {
+		if s.cycle > bound {
+			return fmt.Errorf("pipeline: RunToEnd exceeded cycle bound (unbounded oracle?)")
+		}
+		s.step()
+	}
+	return nil
+}
+
+// drained reports whether no work remains anywhere in the machine.
+func (s *Sim) drained() bool {
+	return s.uq.Len() == 0 && s.be.Drained() &&
+		s.ocPipe.Len() == 0 && s.dcPipe.Len() == 0 && s.lcPipe.Len() == 0
+}

@@ -1,0 +1,112 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"uopsim/internal/uopcache"
+	"uopsim/internal/workload"
+)
+
+// TestConfigMatrix exercises the simulator across the whole configuration
+// cross-product at small scale: every scheme, several capacities, loop cache
+// on/off, compaction depth 2 and 3. Each cell must run to completion with
+// sane metrics and keep oracle synchronization (implicitly: Run errors on
+// livelock, and UPC>0 requires the correct path to flow).
+func TestConfigMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix is slow")
+	}
+	type cell struct {
+		clasp      bool
+		alloc      uopcache.Alloc
+		maxEntries int
+		capUops    int
+		loop       bool
+	}
+	var cells []cell
+	for _, capUops := range []int{2048, 16384} {
+		cells = append(cells,
+			cell{false, uopcache.AllocNone, 1, capUops, true},
+			cell{true, uopcache.AllocNone, 1, capUops, true},
+			cell{true, uopcache.AllocRAC, 2, capUops, true},
+			cell{true, uopcache.AllocPWAC, 2, capUops, false},
+			cell{true, uopcache.AllocFPWAC, 3, capUops, true},
+		)
+	}
+	wl := func(t *testing.T) *workload.Workload { return buildWL(t, "bm_ds") }
+	for _, c := range cells {
+		c := c
+		name := fmt.Sprintf("clasp=%v/alloc=%v/max=%d/cap=%d/loop=%v", c.clasp, c.alloc, c.maxEntries, c.capUops, c.loop)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig()
+			cfg.UopCache.CapacityUops = c.capUops
+			if c.clasp {
+				cfg.Limits.MaxICLines = 2
+				cfg.UopCache.MaxICLines = 2
+			}
+			if c.maxEntries > 1 {
+				cfg.UopCache.MaxEntriesPerLine = c.maxEntries
+				cfg.UopCache.Alloc = c.alloc
+			}
+			cfg.Loop.Enabled = c.loop
+			sim, err := New(cfg, wl(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := sim.RunMeasured(5_000, 25_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.UPC <= 0 || m.UPC > float64(cfg.DispatchWidth) {
+				t.Errorf("UPC = %v", m.UPC)
+			}
+			if m.OCFetchRatio < 0 || m.OCFetchRatio > 1 {
+				t.Errorf("fetch ratio = %v", m.OCFetchRatio)
+			}
+			if !c.loop && m.UopsLC != 0 {
+				t.Errorf("loop cache disabled but served %d uops", m.UopsLC)
+			}
+		})
+	}
+}
+
+// TestNarrowMachine drives an intentionally tiny configuration (1-wide,
+// small queues) to flush out width-assumption bugs.
+func TestNarrowMachine(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DispatchWidth = 1
+	cfg.DecodeWidth = 1
+	cfg.UopQueueSize = 16
+	cfg.PWQueueSize = 2
+	cfg.ICFetchBytes = 8
+	sim, err := New(cfg, buildWL(t, "redis"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.RunMeasured(2_000, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.UPC <= 0 || m.UPC > 1.01 {
+		t.Errorf("1-wide UPC = %v", m.UPC)
+	}
+}
+
+// TestOCDisabledByTinyCapacity: a minimal single-set cache still works.
+func TestMinimalCache(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UopCache.CapacityUops = 64 // 1 set x 8 ways
+	sim, err := New(cfg, buildWL(t, "bm_x64"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.RunMeasured(2_000, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.UPC <= 0 {
+		t.Errorf("metrics degenerate: %+v", m)
+	}
+}

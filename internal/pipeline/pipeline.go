@@ -1,0 +1,300 @@
+// Package pipeline wires every substrate into the whole-core, cycle-level
+// simulator of Figure 1: a decoupled branch prediction unit emitting
+// prediction windows, three uop supply paths (loop cache, uop cache,
+// I-cache + x86 decoder), the micro-op queue, and the out-of-order back end
+// — with wrong-path fetch past unresolved mispredictions, decode-time
+// redirects for undiscovered direct jumps, and uop cache fills (including
+// wrong-path pollution) through the accumulation buffer.
+package pipeline
+
+import (
+	"fmt"
+
+	"uopsim/internal/backend"
+	"uopsim/internal/bpred"
+	"uopsim/internal/decode"
+	"uopsim/internal/fetch"
+	"uopsim/internal/isa"
+	"uopsim/internal/loopcache"
+	"uopsim/internal/mem"
+	"uopsim/internal/power"
+	"uopsim/internal/program"
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+	"uopsim/internal/uopq"
+	"uopsim/internal/workload"
+)
+
+// Config assembles the whole-core configuration (Table I defaults via
+// DefaultConfig).
+type Config struct {
+	// DispatchWidth is uops/cycle from the uop queue to the back end (6).
+	DispatchWidth int
+	// UopQueueSize is the micro-op queue capacity (120).
+	UopQueueSize int
+	// DecodeWidth is decoded instructions per cycle (4).
+	DecodeWidth int
+	// DecodeLatency is the decode pipeline depth in cycles (3).
+	DecodeLatency int
+	// ICFetchLatency is the I-cache read + pick stage depth ahead of decode.
+	ICFetchLatency int
+	// ICFetchBytes is the fetch bandwidth (32 bytes/cycle).
+	ICFetchBytes int
+	// OCLatency is the uop cache read pipeline depth.
+	OCLatency int
+	// OCSwitchPenalty is the bubble when the fetch path falls from the uop
+	// cache to the I-cache mid-window.
+	OCSwitchPenalty int
+	// PWQueueSize bounds how far the BPU runs ahead of fetch.
+	PWQueueSize int
+
+	// Fetch configures prediction window construction.
+	Fetch fetch.Config
+	// UopCache configures the uop cache structure and fill policy.
+	UopCache uopcache.Config
+	// Limits configures entry construction (CLASP = MaxICLines 2).
+	Limits uopcache.BuildLimits
+	// Loop configures the loop cache.
+	Loop loopcache.Config
+	// Mem configures the cache hierarchy.
+	Mem mem.Config
+	// Backend configures the out-of-order engine.
+	Backend backend.Config
+	// AccumBufEntries is the accumulation buffer capacity in entries.
+	AccumBufEntries int
+}
+
+// DefaultConfig returns the Table I machine with a baseline uop cache.
+func DefaultConfig() Config {
+	return Config{
+		DispatchWidth:   6,
+		UopQueueSize:    120,
+		DecodeWidth:     4,
+		DecodeLatency:   3,
+		ICFetchLatency:  2,
+		ICFetchBytes:    32,
+		OCLatency:       2,
+		OCSwitchPenalty: 1,
+		PWQueueSize:     16,
+		Fetch:           fetch.DefaultConfig(),
+		UopCache:        uopcache.DefaultConfig(),
+		Limits:          uopcache.DefaultLimits(),
+		Loop:            loopcache.DefaultConfig(),
+		Mem:             mem.DefaultConfig(),
+		Backend:         backend.DefaultConfig(),
+		AccumBufEntries: 2,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.UopCache.Validate(); err != nil {
+		return err
+	}
+	if c.DispatchWidth < 1 || c.DecodeWidth < 1 || c.UopQueueSize < 8 {
+		return fmt.Errorf("pipeline: width/queue configuration invalid")
+	}
+	if c.Limits.MaxICLines > 1 && c.UopCache.MaxICLines != c.Limits.MaxICLines {
+		return fmt.Errorf("pipeline: CLASP span mismatch between Limits (%d) and UopCache (%d)",
+			c.Limits.MaxICLines, c.UopCache.MaxICLines)
+	}
+	return nil
+}
+
+// fItem is one fetched instruction flowing through a front-end pipe.
+type fItem struct {
+	seq        uint64
+	inst       *isa.Inst
+	rec        trace.Rec
+	correct    bool
+	fetchCycle int64
+	src        uopq.Source
+
+	// predictedNext is the fetch address the front end follows after this
+	// instruction.
+	predictedNext uint64
+	// misp marks a correct-path branch detected mispredicted at fetch
+	// (redirect fires when it resolves in the back end).
+	misp bool
+	// decRedirect marks a BTB-unknown direct unconditional transfer
+	// (redirect fires when it exits decode).
+	decRedirect bool
+
+	// Builder context (decoder path only).
+	pwID       uint64
+	pwInstance uint64
+	pwEndTaken bool
+}
+
+type fGroup struct {
+	items []fItem
+	uops  int
+}
+
+type pendingRedirect struct {
+	fire       int64
+	target     uint64
+	fetchCycle int64
+	isDecode   bool
+}
+
+// Sim is one simulation instance: a workload bound to a configured core.
+type Sim struct {
+	cfg  Config
+	prog *program.Program
+	wl   *workload.Workload
+
+	oracle trace.Stream
+	orHead trace.Rec
+	orOK   bool
+
+	pred *bpred.Predictor
+	pwb  *fetch.Builder
+	hier *mem.Hierarchy
+	oc   *uopcache.Cache
+	ocb  *uopcache.Builder
+	lc   *loopcache.LoopCache
+	be   *backend.Backend
+	uq   *uopq.Queue
+	dec  *power.DecoderModel
+
+	ocPipe *decode.Pipe[fGroup]
+	dcPipe *decode.Pipe[fItem]
+	lcPipe *decode.Pipe[fGroup]
+
+	cycle int64
+
+	// Fetch-side state.
+	seq          uint64
+	nextPopSeq   uint64
+	pwQueue      []fetch.PW
+	pw           *fetch.PW
+	pwFromOC     bool // current PW has had at least one OC hit (switch penalty)
+	pwMode       fetchMode
+	curAddr      uint64
+	fetchAddr    uint64
+	bpuPC        uint64
+	bpuStall     int64
+	fetchStall   int64
+	lastICLine   uint64
+	lcRemaining  []fItem // loop-cache emission backlog for the current PW
+	wrongPath    bool
+	nextOraclePC uint64
+
+	redirect *pendingRedirect
+
+	// OnConsume, when set, observes every correct-path instruction in
+	// program order as the front end consumes it (testing hook: the
+	// observed sequence must equal the architectural walker's stream).
+	OnConsume func(trace.Rec)
+
+	m counters
+}
+
+type fetchMode uint8
+
+const (
+	modeOC fetchMode = iota
+	modeIC
+	modeLC
+)
+
+// New builds a simulator for the workload with a private uop cache.
+func New(cfg Config, wl *workload.Workload) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ocCache, err := uopcache.New(cfg.UopCache)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithCache(cfg, wl, ocCache)
+}
+
+// NewReplay builds a simulator that replays a pre-recorded dynamic trace
+// (e.g. one written by cmd/tracegen) instead of walking the workload's
+// behaviours. The workload still supplies the static program the trace
+// references. Replayed traces are finite; use RunToEnd.
+func NewReplay(cfg Config, wl *workload.Workload, stream trace.Stream) (*Sim, error) {
+	ocCache, err := uopcache.New(cfg.UopCache)
+	if err != nil {
+		return nil, err
+	}
+	return newSim(cfg, wl, stream, ocCache)
+}
+
+// NewWithCache builds a simulator around an externally owned uop cache. Two
+// hardware threads of an SMT core pass the same cache so their entries
+// compete for the shared capacity (§V-B1's motivation for PWAC). Callers
+// must ensure the threads' code regions do not alias (workload.BuildAt).
+func NewWithCache(cfg Config, wl *workload.Workload, ocCache *uopcache.Cache) (*Sim, error) {
+	return newSim(cfg, wl, workload.NewWalker(wl), ocCache)
+}
+
+func newSim(cfg Config, wl *workload.Workload, oracle trace.Stream, ocCache *uopcache.Cache) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	hier := mem.New(cfg.Mem)
+	s := &Sim{
+		cfg:    cfg,
+		prog:   wl.Program,
+		wl:     wl,
+		oracle: oracle,
+		pred:   bpred.New(),
+		hier:   hier,
+		oc:     ocCache,
+		lc:     loopcache.New(cfg.Loop),
+		be:     backend.New(cfg.Backend, hier),
+		uq:     uopq.NewQueue(cfg.UopQueueSize),
+		dec:    power.DefaultDecoderModel(),
+		ocPipe: decode.NewPipe[fGroup](cfg.OCLatency, 1, 8),
+		dcPipe: decode.NewPipe[fItem](cfg.ICFetchLatency+cfg.DecodeLatency, cfg.DecodeWidth, 64),
+		lcPipe: decode.NewPipe[fGroup](1, 1, 4),
+	}
+	s.pwb = fetch.NewBuilder(cfg.Fetch, s.pred)
+	s.ocb = uopcache.NewBuilder(cfg.Limits, s.oc.Stats, func(e *uopcache.Entry) { s.oc.Fill(e) })
+
+	s.advanceOracle()
+	entry := s.prog.Entry
+	s.fetchAddr, s.bpuPC, s.curAddr = entry, entry, entry
+	s.nextOraclePC = entry
+	s.lastICLine = ^uint64(0)
+	return s, nil
+}
+
+func (s *Sim) advanceOracle() {
+	s.orHead, s.orOK = s.oracle.Next()
+}
+
+// Cycle returns the current cycle.
+func (s *Sim) Cycle() int64 { return s.cycle }
+
+// Step advances the machine by one cycle (SMT wrappers interleave threads at
+// this granularity; single-thread callers normally use Run).
+func (s *Sim) Step() { s.step() }
+
+// Insts returns the number of correct-path instructions dispatched so far.
+func (s *Sim) Insts() uint64 { return s.m.insts }
+
+// UopCacheStats exposes the uop cache observables.
+func (s *Sim) UopCacheStats() *uopcache.Stats { return s.oc.Stats }
+
+// Predictor exposes the branch predictor (tests, MPKI probes).
+func (s *Sim) Predictor() *bpred.Predictor { return s.pred }
+
+// Hierarchy exposes the cache hierarchy (tests).
+func (s *Sim) Hierarchy() *mem.Hierarchy { return s.hier }
+
+// UopCache exposes the uop cache (tests, SMC experiments).
+func (s *Sim) UopCache() *uopcache.Cache { return s.oc }
+
+// InvalidateCodeLine performs an SMC invalidating probe against all uop
+// structures for the 64B code line at addr.
+func (s *Sim) InvalidateCodeLine(addr uint64) int {
+	line := addr &^ uint64(63)
+	n := s.oc.InvalidateCodeLine(line)
+	s.lc.InvalidateRange(line, line+64)
+	s.hier.L1I.Invalidate(line)
+	return n
+}

@@ -1,0 +1,148 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"uopsim/internal/stats"
+)
+
+// Snapshot captures the raw observables at a point in time so metrics can be
+// computed over a measurement interval that excludes warmup.
+type Snapshot struct {
+	Cycle         int64
+	RetiredUops   uint64
+	UopsOC        uint64
+	UopsIC        uint64
+	UopsLC        uint64
+	Insts         uint64
+	Branches      uint64
+	Mispredicts   uint64
+	MispLatSum    uint64
+	DecRedirects  uint64
+	Resyncs       uint64
+	DecodedInsts  uint64
+	DecoderEnergy float64
+	OCLookups     uint64
+	OCHits        uint64
+	OCFills       uint64
+}
+
+// Snapshot captures the current observables.
+func (s *Sim) Snapshot() Snapshot {
+	st := s.oc.Stats
+	return Snapshot{
+		Cycle:         s.cycle,
+		RetiredUops:   s.be.RetiredUops(),
+		UopsOC:        s.m.uopsOC,
+		UopsIC:        s.m.uopsIC,
+		UopsLC:        s.m.uopsLC,
+		Insts:         s.m.insts,
+		Branches:      s.m.branches,
+		Mispredicts:   s.m.mispredicts,
+		MispLatSum:    s.m.mispLatSum,
+		DecRedirects:  s.m.decRedirects,
+		Resyncs:       s.m.resyncs,
+		DecodedInsts:  s.m.decodedInsts,
+		DecoderEnergy: s.dec.Energy(),
+		OCLookups:     st.Lookups.Value(),
+		OCHits:        st.Hits.Value(),
+		OCFills:       st.Fills.Value(),
+	}
+}
+
+// Metrics are the derived, paper-facing measurements over an interval.
+type Metrics struct {
+	// Cycles is the interval length.
+	Cycles int64
+	// Insts is correct-path instructions dispatched.
+	Insts uint64
+	// UPC is committed uops per cycle (the paper's performance metric).
+	UPC float64
+	// IPC is committed instructions per cycle.
+	IPC float64
+	// DispatchBW is average uops dispatched to the back end per cycle
+	// (§III-B).
+	DispatchBW float64
+	// OCFetchRatio is uops from the uop cache over uops from uop cache +
+	// I-cache (§III-A definition).
+	OCFetchRatio float64
+	// UopsOC/UopsIC/UopsLC split dispatched uops by supply path.
+	UopsOC, UopsIC, UopsLC uint64
+	// BranchMPKI is mispredicted branches per kilo-instruction (Table II).
+	BranchMPKI float64
+	// AvgMispLatency is the mean fetch-to-redirect latency of mispredicted
+	// branches in cycles (§III-C).
+	AvgMispLatency float64
+	// Mispredicts is the misprediction count.
+	Mispredicts uint64
+	// DecoderPower is average decoder power in model units (normalize
+	// against a baseline run for the paper's figures).
+	DecoderPower float64
+	// DecodedInsts is decoder activity (includes wrong path).
+	DecodedInsts uint64
+	// DecRedirects counts decode-time redirects (BTB-unknown direct jumps).
+	DecRedirects uint64
+	// Resyncs counts BPU re-steers caused by uop cache entry overshoot.
+	Resyncs uint64
+	// OCHitRate is uop cache lookup hit rate over the interval.
+	OCHitRate float64
+	// OCFills is entries written over the interval.
+	OCFills uint64
+}
+
+// MetricsBetween derives metrics over the interval [a, b].
+func MetricsBetween(a, b Snapshot) Metrics {
+	cycles := b.Cycle - a.Cycle
+	m := Metrics{
+		Cycles:       cycles,
+		Insts:        b.Insts - a.Insts,
+		UopsOC:       b.UopsOC - a.UopsOC,
+		UopsIC:       b.UopsIC - a.UopsIC,
+		UopsLC:       b.UopsLC - a.UopsLC,
+		Mispredicts:  b.Mispredicts - a.Mispredicts,
+		DecRedirects: b.DecRedirects - a.DecRedirects,
+		Resyncs:      b.Resyncs - a.Resyncs,
+		DecodedInsts: b.DecodedInsts - a.DecodedInsts,
+		OCFills:      b.OCFills - a.OCFills,
+	}
+	if cycles > 0 {
+		m.UPC = float64(b.RetiredUops-a.RetiredUops) / float64(cycles)
+		m.IPC = float64(m.Insts) / float64(cycles)
+		m.DispatchBW = float64(m.UopsOC+m.UopsIC+m.UopsLC) / float64(cycles)
+		m.DecoderPower = (b.DecoderEnergy - a.DecoderEnergy) / float64(cycles)
+	}
+	m.OCFetchRatio = stats.Ratio(m.UopsOC, m.UopsOC+m.UopsIC)
+	if m.Insts > 0 {
+		m.BranchMPKI = float64(m.Mispredicts) / (float64(m.Insts) / 1000)
+	}
+	if m.Mispredicts > 0 {
+		m.AvgMispLatency = float64(b.MispLatSum-a.MispLatSum) / float64(m.Mispredicts)
+	}
+	m.OCHitRate = stats.Ratio(b.OCHits-a.OCHits, b.OCLookups-a.OCLookups)
+	return m
+}
+
+// RunMeasured runs warmup instructions, snapshots, runs measure
+// instructions, and returns metrics over the measured interval.
+func (s *Sim) RunMeasured(warmup, measure uint64) (Metrics, error) {
+	if warmup > 0 {
+		if err := s.Run(warmup); err != nil {
+			return Metrics{}, err
+		}
+	}
+	a := s.Snapshot()
+	if err := s.Run(measure); err != nil {
+		return Metrics{}, err
+	}
+	b := s.Snapshot()
+	return MetricsBetween(a, b), nil
+}
+
+// String renders a human-readable metrics summary.
+func (m Metrics) String() string {
+	return fmt.Sprintf(
+		"cycles=%d insts=%d UPC=%.3f IPC=%.3f dispatchBW=%.3f ocRatio=%.3f (oc=%d ic=%d lc=%d) "+
+			"MPKI=%.2f mispLat=%.1f decPower=%.3f ocHit=%.3f fills=%d decRedir=%d resync=%d",
+		m.Cycles, m.Insts, m.UPC, m.IPC, m.DispatchBW, m.OCFetchRatio, m.UopsOC, m.UopsIC, m.UopsLC,
+		m.BranchMPKI, m.AvgMispLatency, m.DecoderPower, m.OCHitRate, m.OCFills, m.DecRedirects, m.Resyncs)
+}

@@ -1,0 +1,309 @@
+package pipeline
+
+import (
+	"testing"
+
+	"uopsim/internal/bpred"
+	"uopsim/internal/uopcache"
+	"uopsim/internal/workload"
+)
+
+func TestSmokeRun(t *testing.T) {
+	prof, err := workload.ByName("bm_ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("program: %d insts, %d blocks, %d bytes code", wl.Program.NumInsts(), len(wl.Program.Blocks), wl.Program.CodeBytes())
+
+	sim, err := New(DefaultConfig(), wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.RunMeasured(20_000, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%v", m)
+	st := sim.UopCacheStats()
+	r, p, f := st.AllocDistribution()
+	t.Logf("oc: hit=%.3f takenTerm=%.3f span=%.3f compacted=%.3f alloc=%.2f/%.2f/%.2f sz[<20]=%.2f sz[20-39]=%.2f sz[40-64]=%.2f",
+		st.HitRate(), st.TakenTermFraction(), st.SpanFraction(), st.CompactedFraction(), r, p, f,
+		st.SizeHist.Fraction(0), st.SizeHist.Fraction(1), st.SizeHist.Fraction(2))
+	t.Logf("misp: condPred=%d condUnk=%d ret=%d ind=%d other=%d; condAcc=%.4f",
+		sim.m.mispCondPredicted, sim.m.mispCondUnknown, sim.m.mispRet, sim.m.mispIndirect, sim.m.mispOther,
+		sim.pred.CondAccuracy())
+	t.Logf("stalls: emptyUQ=%d backend=%d wrongPath=%d avgROB=%.1f cycles=%d",
+		sim.m.stallEmptyUQ, sim.m.stallBackend, sim.m.dispatchStallWP, float64(sim.m.robOccSum)/float64(sim.cycle), sim.cycle)
+	if m.UPC <= 0 {
+		t.Fatalf("UPC = %v, want > 0", m.UPC)
+	}
+	if m.OCFetchRatio <= 0 {
+		t.Fatalf("OC fetch ratio = %v, want > 0", m.OCFetchRatio)
+	}
+}
+
+func TestMispLatencyBreakdown(t *testing.T) {
+	prof, _ := workload.ByName("nutch")
+	wl, err := workload.Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, _ := New(DefaultConfig(), wl)
+	if _, err := sim.RunMeasured(20_000, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	n := sim.m.mispredicts
+	t.Logf("misp=%d fetch->disp=%.1f disp->done=%.1f", n,
+		float64(sim.m.mispFetchToDisp)/float64(n), float64(sim.m.mispDispToDone)/float64(n))
+}
+
+func TestAbsorptionDiag(t *testing.T) {
+	prof, _ := workload.ByName("bm_ds")
+	wl, err := workload.Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, _ := New(DefaultConfig(), wl)
+	if _, err := sim.RunMeasured(20_000, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("absorbedPWs=%d absorbedConds=%d branches=%d condAcc=%.4f",
+		sim.m.absorbedPWs, sim.m.absorbedConds, sim.m.branches, sim.pred.CondAccuracy())
+}
+
+func TestStalenessEffect(t *testing.T) {
+	prof, _ := workload.ByName("bm_ds")
+	for _, q := range []int{2, 4, 16} {
+		wl, err := workload.Build(prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.PWQueueSize = q
+		sim, _ := New(cfg, wl)
+		if _, err := sim.RunMeasured(20_000, 100_000); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("pwq=%d condAcc=%.4f mispredicts=%d", q, sim.pred.CondAccuracy(), sim.m.mispredicts)
+	}
+}
+
+func TestCapacityScalingQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow diagnostic")
+	}
+	for _, name := range []string{"bm_ds", "bm_cc", "nutch"} {
+		prof, _ := workload.ByName(name)
+		for _, cap := range []int{2048, 8192, 65536} {
+			wl, err := workload.Build(prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.UopCache.CapacityUops = cap
+			sim, _ := New(cfg, wl)
+			m, err := sim.RunMeasured(30_000, 120_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%-8s cap=%-6d UPC=%.3f ratio=%.3f hit=%.3f MPKI=%.2f mispLat=%.1f decPow=%.3f",
+				name, cap, m.UPC, m.OCFetchRatio, m.OCHitRate, m.BranchMPKI, m.AvgMispLatency, m.DecoderPower)
+		}
+	}
+}
+
+func TestMispLatencyMemSensitivity(t *testing.T) {
+	prof, _ := workload.ByName("nutch")
+	for _, big := range []bool{false, true} {
+		wl, err := workload.Build(prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		if big {
+			cfg.Mem.L1DBytes = 32 << 20 // everything hits L1D
+		}
+		sim, _ := New(cfg, wl)
+		if _, err := sim.RunMeasured(20_000, 100_000); err != nil {
+			t.Fatal(err)
+		}
+		n := sim.m.mispredicts
+		t.Logf("bigL1D=%v misp=%d f->d=%.1f d->done=%.1f UPC-ish avgROB=%.0f stalls: uq=%d be=%d wp=%d",
+			big, n, float64(sim.m.mispFetchToDisp)/float64(n), float64(sim.m.mispDispToDone)/float64(n),
+			float64(sim.m.robOccSum)/float64(sim.cycle), sim.m.stallEmptyUQ, sim.m.stallBackend, sim.m.dispatchStallWP)
+	}
+}
+
+func TestBackendLatencyProfile(t *testing.T) {
+	prof, _ := workload.ByName("nutch")
+	wl, err := workload.Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, _ := New(DefaultConfig(), wl)
+	if _, err := sim.RunMeasured(20_000, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	avg, dep, port := sim.be.LatencyProfile()
+	t.Logf("uop latency: avg=%.1f depWait=%.1f portWait=%.1f", avg, dep, port)
+}
+
+func TestSchemeComparisonQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow diagnostic")
+	}
+	prof, _ := workload.ByName("bm_cc")
+	type scheme struct {
+		name string
+		mod  func(*Config)
+	}
+	schemes := []scheme{
+		{"baseline", func(c *Config) {}},
+		{"clasp", func(c *Config) { c.Limits.MaxICLines = 2; c.UopCache.MaxICLines = 2 }},
+		{"rac", func(c *Config) {
+			c.Limits.MaxICLines = 2
+			c.UopCache.MaxICLines = 2
+			c.UopCache.MaxEntriesPerLine = 2
+			c.UopCache.Alloc = uopcache.AllocRAC
+		}},
+		{"pwac", func(c *Config) {
+			c.Limits.MaxICLines = 2
+			c.UopCache.MaxICLines = 2
+			c.UopCache.MaxEntriesPerLine = 2
+			c.UopCache.Alloc = uopcache.AllocPWAC
+		}},
+		{"f-pwac", func(c *Config) {
+			c.Limits.MaxICLines = 2
+			c.UopCache.MaxICLines = 2
+			c.UopCache.MaxEntriesPerLine = 2
+			c.UopCache.Alloc = uopcache.AllocFPWAC
+		}},
+	}
+	for _, sc := range schemes {
+		wl, err := workload.Build(prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		sc.mod(&cfg)
+		sim, err := New(cfg, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.RunMeasured(30_000, 120_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := sim.UopCacheStats()
+		r, p, f := st.AllocDistribution()
+		t.Logf("%-8s UPC=%.3f ratio=%.3f hit=%.3f mispLat=%.1f decPow=%.3f | taken=%.2f span=%.2f compact=%.2f alloc=%.2f/%.2f/%.2f sz=%.2f/%.2f/%.2f util=%.2f",
+			sc.name, m.UPC, m.OCFetchRatio, m.OCHitRate, m.AvgMispLatency, m.DecoderPower,
+			st.TakenTermFraction(), st.SpanFraction(), st.CompactedFraction(), r, p, f,
+			st.SizeHist.Fraction(0), st.SizeHist.Fraction(1), st.SizeHist.Fraction(2), sim.UopCache().Utilization())
+		t.Logf("         misp=%d resync=%d decRedir=%d stalls: uq=%d be=%d wp=%d absorbed=%d",
+			m.Mispredicts, sim.m.resyncs, m.DecRedirects, sim.m.stallEmptyUQ, sim.m.stallBackend, sim.m.dispatchStallWP, sim.m.absorbedPWs)
+	}
+}
+
+// TestPipelineMPKIReport prints full-pipeline MPKI per workload against the
+// Table II targets (run with -v when recalibrating).
+func TestPipelineMPKIReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration report")
+	}
+	targets := map[string]float64{
+		"sp_log_regr": 10.37, "sp_tr_cnt": 7.9, "sp_pg_rnk": 9.27,
+		"nutch": 5.12, "mahout": 9.05, "redis": 1.01, "jvm": 2.15,
+		"bm_pb": 2.07, "bm_cc": 5.48, "bm_x64": 1.31, "bm_ds": 4.5,
+		"bm_lla": 11.51, "bm_z": 11.61,
+	}
+	for _, name := range workload.Names() {
+		wl, err := workload.Build(mustProfile(t, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, _ := New(DefaultConfig(), wl)
+		m, err := sim.RunMeasured(150_000, 150_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-12s MPKI=%6.2f (target %5.2f) [condPred=%d condUnk=%d ret=%d ind=%d] ratio=%.3f UPC=%.3f mispLat=%.1f",
+			name, m.BranchMPKI, targets[name], sim.m.mispCondPredicted, sim.m.mispCondUnknown,
+			sim.m.mispRet, sim.m.mispIndirect, m.OCFetchRatio, m.UPC, m.AvgMispLatency)
+	}
+}
+
+func mustProfile(t *testing.T, name string) *workload.Profile {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCondAccuracyGap(t *testing.T) {
+	wl, err := workload.Build(mustProfile(t, "sp_pg_rnk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, _ := New(DefaultConfig(), wl)
+	if _, err := sim.RunMeasured(30_000, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	dirMiss, tgtMiss := sim.pred.Mispredicts()
+	t.Logf("pipeline condAcc=%.4f (offline best-case ~0.940); dirMiss=%d tgtMiss=%d branches=%d",
+		sim.pred.CondAccuracy(), dirMiss, tgtMiss, sim.m.branches)
+}
+
+func TestCondAccuracyVsRunahead(t *testing.T) {
+	for _, q := range []int{1, 2, 4, 8, 16} {
+		wl, err := workload.Build(mustProfile(t, "sp_pg_rnk"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.PWQueueSize = q
+		sim, _ := New(cfg, wl)
+		if _, err := sim.RunMeasured(30_000, 100_000); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("pwq=%2d condAcc=%.4f", q, sim.pred.CondAccuracy())
+	}
+}
+
+func TestCondAccuracyShadow(t *testing.T) {
+	wl, err := workload.Build(mustProfile(t, "sp_pg_rnk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, _ := New(DefaultConfig(), wl)
+	sim.pred.Shadow = bpred.NewTage()
+	if _, err := sim.RunMeasured(30_000, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pipeline condAcc=%.4f shadow(immediate)=%.4f", sim.pred.CondAccuracy(), sim.pred.ShadowAccuracy())
+}
+
+func TestEntryTermBreakdown(t *testing.T) {
+	wl, err := workload.Build(mustProfile(t, "bm_cc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, _ := New(DefaultConfig(), wl)
+	if _, err := sim.RunMeasured(30_000, 120_000); err != nil {
+		t.Fatal(err)
+	}
+	st := sim.UopCacheStats()
+	total := st.Fills.Value()
+	for r := uopcache.TermICBoundary; r <= uopcache.TermCapacity; r++ {
+		t.Logf("%-12s %6d (%.1f%%)", r, st.TermCounts[r].Value(), 100*float64(st.TermCounts[r].Value())/float64(total))
+	}
+	built, taken, lineEnd, nt := sim.pwb.Stats()
+	t.Logf("PWs: built=%d taken=%.2f lineEnd=%.2f ntBudget=%.2f", built,
+		float64(taken)/float64(built), float64(lineEnd)/float64(built), float64(nt)/float64(built))
+}

@@ -1,0 +1,132 @@
+// Package program models a static program as a control-flow graph of basic
+// blocks laid out in a flat code address space, exactly the view a processor
+// front-end has of a binary: contiguous variable-length instructions with
+// branch edges between them.
+//
+// Programs are built with a Builder (used by internal/workload's synthesizer)
+// and are immutable afterwards. Dynamic behaviour — branch outcomes, memory
+// address streams — is attached externally by the workload walker; the
+// program holds only what a binary holds.
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"uopsim/internal/isa"
+)
+
+// Block is a basic block: a straight-line run of instructions with at most
+// one terminating branch (always the last instruction when present).
+type Block struct {
+	// ID is the dense block index within the program.
+	ID int
+	// First is the index into Program.Insts of the block's first instruction.
+	First int
+	// N is the number of instructions in the block.
+	N int
+	// Fallthrough is the ID of the next sequential block, or -1 at program
+	// end.
+	Fallthrough int
+	// TargetBlock is the ID of the taken-target block for direct branches,
+	// or -1.
+	TargetBlock int
+}
+
+// Program is an immutable synthesized binary.
+type Program struct {
+	// Insts holds every static instruction; Inst.ID indexes this slice.
+	Insts []isa.Inst
+	// Blocks holds every basic block in layout order.
+	Blocks []Block
+	// Entry is the address of the first instruction executed.
+	Entry uint64
+	// Base and Limit bound the code region: Base <= addr < Limit.
+	Base, Limit uint64
+
+	byAddr map[uint64]int32 // instruction start address -> Inst.ID
+}
+
+// At returns the instruction starting at addr, or nil when addr is not an
+// instruction boundary (e.g. a wrong-path fetch into the middle of an
+// encoding or outside the code region).
+func (p *Program) At(addr uint64) *isa.Inst {
+	id, ok := p.byAddr[addr]
+	if !ok {
+		return nil
+	}
+	return &p.Insts[id]
+}
+
+// Inst returns the instruction with the given static ID.
+func (p *Program) Inst(id uint32) *isa.Inst { return &p.Insts[id] }
+
+// BlockOf returns the block containing instruction id.
+func (p *Program) BlockOf(id uint32) *Block {
+	i := sort.Search(len(p.Blocks), func(i int) bool {
+		b := &p.Blocks[i]
+		return uint32(b.First+b.N) > id
+	})
+	if i == len(p.Blocks) {
+		return nil
+	}
+	return &p.Blocks[i]
+}
+
+// Next returns the instruction immediately following in (by address), or nil
+// at the end of the code region.
+func (p *Program) Next(in *isa.Inst) *isa.Inst {
+	return p.At(in.End())
+}
+
+// NumInsts returns the static instruction count.
+func (p *Program) NumInsts() int { return len(p.Insts) }
+
+// CodeBytes returns the total size of the code region in bytes.
+func (p *Program) CodeBytes() uint64 { return p.Limit - p.Base }
+
+// Validate checks structural invariants; it is used by tests and the
+// synthesizer self-check. It returns the first violation found.
+func (p *Program) Validate() error {
+	if len(p.Insts) == 0 {
+		return fmt.Errorf("program: no instructions")
+	}
+	if p.At(p.Entry) == nil {
+		return fmt.Errorf("program: entry %#x is not an instruction boundary", p.Entry)
+	}
+	prevEnd := p.Base
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if in.ID != uint32(i) {
+			return fmt.Errorf("program: inst %d has ID %d", i, in.ID)
+		}
+		if in.Addr != prevEnd {
+			return fmt.Errorf("program: inst %d at %#x not contiguous with previous end %#x", i, in.Addr, prevEnd)
+		}
+		if in.Len == 0 || in.Len > isa.MaxInstLen {
+			return fmt.Errorf("program: inst %d has invalid length %d", i, in.Len)
+		}
+		if in.IsBranch() && !in.Branch.IsIndirect() {
+			// Direct branches must land on an instruction boundary.
+			if p.At(in.Target) == nil {
+				return fmt.Errorf("program: inst %d branch target %#x not a boundary", i, in.Target)
+			}
+		}
+		prevEnd = in.End()
+	}
+	if prevEnd != p.Limit {
+		return fmt.Errorf("program: limit %#x does not match last inst end %#x", p.Limit, prevEnd)
+	}
+	for bi := range p.Blocks {
+		b := &p.Blocks[bi]
+		if b.N <= 0 {
+			return fmt.Errorf("program: block %d empty", bi)
+		}
+		for j := b.First; j < b.First+b.N-1; j++ {
+			if p.Insts[j].IsBranch() {
+				return fmt.Errorf("program: block %d has interior branch at inst %d", bi, j)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequence diverged at step %d", i)
+		}
+	}
+}
+
+func TestKnownSplitmix64Sequence(t *testing.T) {
+	// Reference values for splitmix64 seeded with 0 (public-domain
+	// reference implementation by Sebastiano Vigna).
+	want := []uint64{
+		0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f,
+	}
+	s := New(0)
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Errorf("step %d: got %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds matched %d/100 outputs", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	parent := New(7)
+	a := parent.Derive(1)
+	b := parent.Derive(2)
+	if a.Uint64() == b.Uint64() {
+		t.Error("derived streams with different labels should differ")
+	}
+	// Deriving must not consume from the parent.
+	p1, p2 := New(7), New(7)
+	p1.Derive(9)
+	if p1.Uint64() != p2.Uint64() {
+		t.Error("Derive consumed parent state")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint16) bool {
+		nn := int(n%1000) + 1
+		v := New(seed).Intn(nn)
+		return v >= 0 && v < nn
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64, lo int16, span uint8) bool {
+		l, h := int(lo), int(lo)+int(span)
+		v := New(seed).Range(l, h)
+		return v >= l && v <= h
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10_000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(5)
+	n, hits := 100_000, 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.28 || frac > 0.32 {
+		t.Errorf("Bool(0.3) frequency = %.4f", frac)
+	}
+}
+
+func TestChooseDistribution(t *testing.T) {
+	s := New(11)
+	weights := []float64{1, 3, 6}
+	counts := make([]int, 3)
+	n := 60_000
+	for i := 0; i < n; i++ {
+		counts[s.Choose(weights)]++
+	}
+	for i, want := range []float64{0.1, 0.3, 0.6} {
+		got := float64(counts[i]) / float64(n)
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("Choose weight %d frequency = %.3f, want ~%.1f", i, got, want)
+		}
+	}
+}
+
+func TestChoosePanics(t *testing.T) {
+	for _, ws := range [][]float64{{0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Choose(%v) should panic", ws)
+				}
+			}()
+			New(1).Choose(ws)
+		}()
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint8) bool {
+		nn := int(n%64) + 1
+		p := New(seed).Perm(nn)
+		seen := make([]bool, nn)
+		for _, v := range p {
+			if v < 0 || v >= nn || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == nn
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometricBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64, m uint8, cap uint8) bool {
+		mm := float64(m%20) + 1
+		cc := int(cap%50) + 1
+		v := New(seed).Geometric(mm, cc)
+		return v >= 1 && v <= cc
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(13)
+	var sum float64
+	n := 200_000
+	for i := 0; i < n; i++ {
+		sum += float64(s.Geometric(8, 1000))
+	}
+	mean := sum / float64(n)
+	if mean < 7.2 || mean > 8.8 {
+		t.Errorf("Geometric(8) mean = %.2f, want ~8", mean)
+	}
+}

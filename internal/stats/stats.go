@@ -1,0 +1,199 @@
+// Package stats provides the counters, histograms and derived-metric helpers
+// used by every simulator component, plus table rendering for experiment
+// output.
+//
+// All types are plain values with useful zero states so components can embed
+// them without constructors.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Ratio returns a/b as float64, or 0 when b is zero.
+func Ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Mean is a running arithmetic mean over observed samples.
+type Mean struct {
+	sum   float64
+	count uint64
+}
+
+// Observe adds one sample.
+func (m *Mean) Observe(x float64) {
+	m.sum += x
+	m.count++
+}
+
+// ObserveN adds n identical samples. Useful for weighted accumulation.
+func (m *Mean) ObserveN(x float64, n uint64) {
+	m.sum += x * float64(n)
+	m.count += n
+}
+
+// Value returns the mean, or 0 with no samples.
+func (m *Mean) Value() float64 {
+	if m.count == 0 {
+		return 0
+	}
+	return m.sum / float64(m.count)
+}
+
+// Count returns the number of samples observed.
+func (m *Mean) Count() uint64 { return m.count }
+
+// Sum returns the raw sample sum.
+func (m *Mean) Sum() float64 { return m.sum }
+
+// Reset discards all samples.
+func (m *Mean) Reset() { *m = Mean{} }
+
+// Histogram is a bucketed distribution over non-negative integer samples.
+// Bucket boundaries are fixed at construction: bucket i holds samples x with
+// bounds[i-1] < x <= bounds[i] (bucket 0 holds x <= bounds[0]); samples above
+// the last bound fall into the overflow bucket.
+type Histogram struct {
+	bounds []int
+	counts []uint64
+	total  uint64
+}
+
+// NewHistogram builds a histogram with the given ascending inclusive upper
+// bounds.
+func NewHistogram(bounds ...int) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]int(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x int) {
+	h.total++
+	for i, b := range h.bounds {
+		if x <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Total returns the number of samples recorded.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Fraction returns the fraction of samples in bucket i (overflow bucket is
+// index len(bounds)).
+func (h *Histogram) Fraction(i int) float64 {
+	return Ratio(h.counts[i], h.total)
+}
+
+// Count returns the raw count in bucket i.
+func (h *Histogram) Count(i int) uint64 { return h.counts[i] }
+
+// Buckets returns the number of buckets including overflow.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Reset zeroes all buckets.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+}
+
+// Distribution is a dense distribution over small integer keys (e.g. "OC
+// entries per PW"), tracking exact counts per key.
+type Distribution struct {
+	counts map[int]uint64
+	total  uint64
+}
+
+// Observe records one sample of value k.
+func (d *Distribution) Observe(k int) {
+	if d.counts == nil {
+		d.counts = make(map[int]uint64)
+	}
+	d.counts[k]++
+	d.total++
+}
+
+// Fraction returns the fraction of samples equal to k.
+func (d *Distribution) Fraction(k int) float64 {
+	return Ratio(d.counts[k], d.total)
+}
+
+// Total returns the total number of samples.
+func (d *Distribution) Total() uint64 { return d.total }
+
+// Keys returns the observed keys in ascending order.
+func (d *Distribution) Keys() []int {
+	keys := make([]int, 0, len(d.counts))
+	for k := range d.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// GeoMean returns the geometric mean of xs. Non-positive entries are skipped
+// (they would otherwise poison the product); an empty input yields 0.
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	var n int
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		logSum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// ArithMean returns the arithmetic mean of xs, or 0 for empty input.
+func ArithMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Pct formats a fraction as a percentage string like "12.3%".
+func Pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders fixed-width experiment output in the style of the paper's
+// figures: one row per workload, one column per configuration/series.
+type Table struct {
+	Title   string
+	header  []string
+	rows    [][]string
+	aligned bool
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: append([]string(nil), header...)}
+}
+
+// AddRow appends a row of pre-formatted cells. Short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := append([]string(nil), cells...)
+	for len(row) < len(t.header) {
+		row = append(row, "")
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row where the first cell is a label and the remaining
+// cells are values formatted with the given verb (e.g. "%.3f").
+func (t *Table) AddRowf(label, verb string, values ...float64) {
+	cells := make([]string, 0, len(values)+1)
+	cells = append(cells, label)
+	for _, v := range values {
+		cells = append(cells, fmt.Sprintf(verb, v))
+	}
+	t.AddRow(cells...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

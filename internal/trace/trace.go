@@ -1,0 +1,153 @@
+// Package trace defines the dynamic instruction record produced by the
+// workload walker and consumed by the pipeline, plus a compact binary
+// reader/writer so traces can be captured once and replayed (cmd/tracegen).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Rec is one committed-path dynamic instruction. The static instruction is
+// referenced by ID into the program's instruction table.
+type Rec struct {
+	// InstID indexes program.Program.Insts.
+	InstID uint32
+	// Taken reports the architectural outcome for branches (always true for
+	// unconditional transfers, false for non-branches).
+	Taken bool
+	// Next is the address of the next instruction on the architectural path
+	// (branch target when taken, fallthrough otherwise).
+	Next uint64
+	// MemAddr is the effective address for loads/stores, 0 otherwise.
+	MemAddr uint64
+}
+
+// Stream produces the architectural (oracle) dynamic instruction sequence.
+type Stream interface {
+	// Next returns the next record. ok is false when the stream is
+	// exhausted; finite streams are used in tests, workload streams are
+	// unbounded.
+	Next() (Rec, bool)
+}
+
+// SliceStream adapts a fixed []Rec into a Stream; used by tests and replay.
+type SliceStream struct {
+	recs []Rec
+	pos  int
+}
+
+// NewSliceStream wraps recs.
+func NewSliceStream(recs []Rec) *SliceStream { return &SliceStream{recs: recs} }
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Rec, bool) {
+	if s.pos >= len(s.recs) {
+		return Rec{}, false
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, true
+}
+
+const fileMagic = uint32(0x55435452) // "UCTR"
+
+// Writer serializes records to a compact binary format.
+type Writer struct {
+	w   *bufio.Writer
+	n   uint64
+	err error
+}
+
+// NewWriter starts a trace file on w.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], 1) // version
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (t *Writer) Write(r Rec) error {
+	if t.err != nil {
+		return t.err
+	}
+	var buf [21]byte
+	binary.LittleEndian.PutUint32(buf[0:], r.InstID)
+	if r.Taken {
+		buf[4] = 1
+	}
+	binary.LittleEndian.PutUint64(buf[5:], r.Next)
+	binary.LittleEndian.PutUint64(buf[13:], r.MemAddr)
+	if _, err := t.w.Write(buf[:]); err != nil {
+		t.err = err
+		return err
+	}
+	t.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (t *Writer) Count() uint64 { return t.n }
+
+// Flush completes the trace.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Reader deserializes a trace written by Writer and implements Stream.
+type Reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// NewReader validates the header and prepares to stream records.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != 1 {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next implements Stream.
+func (t *Reader) Next() (Rec, bool) {
+	if t.err != nil {
+		return Rec{}, false
+	}
+	var buf [21]byte
+	if _, err := io.ReadFull(t.r, buf[:]); err != nil {
+		t.err = err
+		return Rec{}, false
+	}
+	return Rec{
+		InstID:  binary.LittleEndian.Uint32(buf[0:]),
+		Taken:   buf[4] != 0,
+		Next:    binary.LittleEndian.Uint64(buf[5:]),
+		MemAddr: binary.LittleEndian.Uint64(buf[13:]),
+	}, true
+}
+
+// Err returns the terminal error, if any, excluding io.EOF.
+func (t *Reader) Err() error {
+	if t.err == io.EOF {
+		return nil
+	}
+	return t.err
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	recs := []Rec{
+		{InstID: 1, Taken: false, Next: 0x1004, MemAddr: 0},
+		{InstID: 2, Taken: true, Next: 0x2000, MemAddr: 0xdeadbeef},
+		{InstID: 0xffffffff, Taken: true, Next: ^uint64(0), MemAddr: 1},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(recs)) {
+		t.Errorf("count = %d", w.Count())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range recs {
+		got, ok := r.Next()
+		if !ok || got != want {
+			t.Fatalf("rec %d: got %+v ok=%v, want %+v", i, got, ok, want)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("stream should be exhausted")
+	}
+	if r.Err() != nil {
+		t.Fatalf("clean EOF expected, got %v", r.Err())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(ids []uint32, takens []bool) bool {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		var recs []Rec
+		for i, id := range ids {
+			r := Rec{InstID: id, Next: uint64(id) * 3, MemAddr: uint64(i)}
+			if i < len(takens) {
+				r.Taken = takens[i]
+			}
+			recs = append(recs, r)
+			if err := w.Write(r); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		rd, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, want := range recs {
+			got, ok := rd.Next()
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := rd.Next()
+		return !ok
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("garbage!"))); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Fatal("short header should fail")
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	s := NewSliceStream([]Rec{{InstID: 1}, {InstID: 2}})
+	r, ok := s.Next()
+	if !ok || r.InstID != 1 {
+		t.Fatal("first rec wrong")
+	}
+	s.Next()
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted stream should report !ok")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Rec{InstID: 5})
+	w.Flush()
+	// Chop off the last byte of the record.
+	data := buf.Bytes()[:buf.Len()-1]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("truncated record should not parse")
+	}
+	if r.Err() == nil {
+		t.Fatal("truncation should surface an error")
+	}
+}

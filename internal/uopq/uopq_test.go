@@ -1,0 +1,100 @@
+package uopq
+
+import (
+	"testing"
+
+	"uopsim/internal/isa"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(4)
+	insts := []isa.Inst{{ID: 1}, {ID: 2}, {ID: 3}}
+	for i := range insts {
+		if !q.Push(Uop{Inst: &insts[i]}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	for i := range insts {
+		u, ok := q.Pop()
+		if !ok || u.Inst.ID != insts[i].ID {
+			t.Fatalf("pop %d wrong", i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("empty pop should fail")
+	}
+}
+
+func TestQueueCapacity(t *testing.T) {
+	q := NewQueue(2)
+	in := isa.Inst{}
+	if q.Cap() != 2 {
+		t.Fatalf("cap = %d", q.Cap())
+	}
+	q.Push(Uop{Inst: &in})
+	q.Push(Uop{Inst: &in})
+	if q.Push(Uop{Inst: &in}) {
+		t.Fatal("push past capacity should fail")
+	}
+	if q.Free() != 0 || q.Len() != 2 {
+		t.Fatalf("free=%d len=%d", q.Free(), q.Len())
+	}
+	q.Pop()
+	if q.Free() != 1 {
+		t.Fatal("pop should free a slot")
+	}
+}
+
+func TestQueueWraparound(t *testing.T) {
+	q := NewQueue(3)
+	in := [10]isa.Inst{}
+	for i := 0; i < 10; i++ {
+		in[i].ID = uint32(i)
+		if !q.Push(Uop{Inst: &in[i]}) {
+			t.Fatalf("push %d failed", i)
+		}
+		u, ok := q.Pop()
+		if !ok || u.Inst.ID != uint32(i) {
+			t.Fatalf("wrap pop %d wrong", i)
+		}
+	}
+}
+
+func TestQueuePeek(t *testing.T) {
+	q := NewQueue(2)
+	in := isa.Inst{ID: 9}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peek on empty should fail")
+	}
+	q.Push(Uop{Inst: &in})
+	u, ok := q.Peek()
+	if !ok || u.Inst.ID != 9 || q.Len() != 1 {
+		t.Fatal("peek wrong")
+	}
+}
+
+func TestQueueFlush(t *testing.T) {
+	q := NewQueue(4)
+	in := isa.Inst{}
+	q.Push(Uop{Inst: &in})
+	q.Flush()
+	if q.Len() != 0 {
+		t.Fatal("flush incomplete")
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	if SrcDecoder.String() != "decoder" || SrcUopCache.String() != "opcache" || SrcLoopCache.String() != "loopcache" {
+		t.Error("source names wrong")
+	}
+	if Source(9).String() != "src?" {
+		t.Error("fallback name wrong")
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	q := NewQueue(0)
+	if q.Cap() < 1 {
+		t.Fatal("queue must have at least one slot")
+	}
+}

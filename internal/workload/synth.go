@@ -1,0 +1,427 @@
+package workload
+
+import (
+	"fmt"
+
+	"uopsim/internal/isa"
+	"uopsim/internal/program"
+	"uopsim/internal/rng"
+)
+
+// BehaviorKind classifies the dynamic outcome model of a conditional branch.
+type BehaviorKind uint8
+
+const (
+	// BehBiased branches are taken with a fixed probability near 0 or 1.
+	BehBiased BehaviorKind = iota
+	// BehChaotic branches have i.i.d. data-dependent outcomes (the MPKI
+	// driver: no predictor can learn them).
+	BehChaotic
+	// BehPattern branches repeat a short periodic taken/not-taken pattern.
+	BehPattern
+	// BehLoop branches are loop back-edges: taken trip-1 times, then not
+	// taken once.
+	BehLoop
+)
+
+// CondBehavior is the outcome model of one static conditional branch.
+type CondBehavior struct {
+	Kind BehaviorKind
+	// P is the taken probability for BehBiased/BehChaotic.
+	P float64
+	// Pattern/PatLen encode a periodic outcome sequence (bit i = taken).
+	Pattern uint64
+	PatLen  int
+	// TripMean is the mean trip count for BehLoop; FixedTrip > 0 makes the
+	// count deterministic (predictable exit).
+	TripMean  float64
+	FixedTrip int
+}
+
+// IndirectBehavior is the target model of one static indirect branch/call.
+type IndirectBehavior struct {
+	// TargetBlocks are candidate target blocks (function entries).
+	TargetBlocks []int
+	// Weights are the selection weights (Zipf for the dispatcher).
+	Weights []float64
+	// RunLen is the mean number of consecutive selections of the same
+	// target before re-drawing (phase locality); <= 1 means redraw always.
+	RunLen float64
+}
+
+// MemBehavior is the address-stream model of one static memory instruction.
+type MemBehavior struct {
+	// Base and Size delimit the region the instruction references.
+	Base, Size uint64
+	// Stride advances the access pointer each execution; 0 means random
+	// within the region.
+	Stride uint32
+}
+
+// Behaviors attaches dynamic semantics to a synthesized program. Maps are
+// keyed by static instruction ID.
+type Behaviors struct {
+	Cond     map[uint32]*CondBehavior
+	Indirect map[uint32]*IndirectBehavior
+	Mem      map[uint32]*MemBehavior
+	// DispatchBlock is the block ID of the dispatcher loop head (walker
+	// restart point).
+	DispatchBlock int
+	// FuncEntries maps function index -> entry block ID.
+	FuncEntries []int
+}
+
+// Workload bundles a synthesized program with its behaviours and profile.
+type Workload struct {
+	Profile   *Profile
+	Program   *program.Program
+	Behaviors *Behaviors
+}
+
+// Data-region bases; code occupies a disjoint region at CodeBase.
+// utilityFuncs returns the number of trailing "utility" functions: shared
+// leaf routines (hashing, copying, allocation) that every driver function
+// calls but that make no calls themselves. A two-level call graph keeps the
+// dynamic tree size bounded and stable — deep random DAGs concentrate
+// execution unpredictably in their upper layers.
+func utilityFuncs(numFuncs int) int {
+	u := numFuncs / 8
+	if u < 8 {
+		u = 8
+	}
+	if u >= numFuncs {
+		u = numFuncs - 1
+	}
+	return u
+}
+
+const (
+	// CodeBase is where synthesized code is laid out.
+	CodeBase uint64 = 0x00400000
+	hotBase  uint64 = 0x10000000
+	warmBase uint64 = 0x20000000
+	coldBase uint64 = 0x40000000
+)
+
+// Build synthesizes the program and behaviours for a profile at the default
+// code base.
+func Build(p *Profile) (*Workload, error) { return BuildAt(p, CodeBase) }
+
+// BuildAt synthesizes the program at an explicit code base. Distinct bases
+// let several workloads share one address space without aliasing — the SMT
+// configuration runs two threads whose code regions must not collide in the
+// shared uop cache.
+func BuildAt(p *Profile, base uint64) (*Workload, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(p.Seed)
+	b := program.NewBuilder(base, p.Mix, r.Derive(1))
+	structR := r.Derive(2)
+	behR := r.Derive(3)
+
+	beh := &Behaviors{
+		Cond:     make(map[uint32]*CondBehavior),
+		Indirect: make(map[uint32]*IndirectBehavior),
+		Mem:      make(map[uint32]*MemBehavior),
+	}
+
+	// Behaviour annotations are collected per block (instruction IDs do not
+	// exist until Finish) and converted afterwards.
+	condByBlock := make(map[int]*CondBehavior)
+	indByBlock := make(map[int]*IndirectBehavior)
+	type callPatch struct {
+		block  int
+		callee int
+	}
+	var callPatches []callPatch
+	type indPatch struct {
+		block   int
+		callees []int
+		weights []float64
+		runLen  float64
+	}
+	var indPatches []indPatch
+
+	// Dispatcher: D0 ends in an indirect call to a Zipf-selected function;
+	// D1 jumps back to D0. Function returns resume at D1.
+	d0 := b.AddBranchBlock(structR.Range(2, 4), isa.BranchIndirectCall, -1)
+	b.AddBranchBlock(structR.Range(1, 2), isa.BranchJump, d0) // D1: resume point, loops back
+	beh.DispatchBlock = d0
+
+	// Functions. Calls may only target higher-indexed functions (call DAG),
+	// which guarantees walker termination without recursion bookkeeping.
+	funcEntries := make([]int, p.NumFuncs)
+	for f := 0; f < p.NumFuncs; f++ {
+		entry, err := buildFunc(p, b, structR, behR, f, condByBlock, indByBlock,
+			func(block, callee int) { callPatches = append(callPatches, callPatch{block, callee}) },
+			func(block int, callees []int, w []float64, run float64) {
+				indPatches = append(indPatches, indPatch{block, callees, w, run})
+			})
+		if err != nil {
+			return nil, err
+		}
+		funcEntries[f] = entry
+	}
+	beh.FuncEntries = funcEntries
+
+	// Patch direct call targets now that all function entry blocks exist.
+	for _, cp := range callPatches {
+		b.SetTarget(cp.block, funcEntries[cp.callee])
+	}
+
+	// Dispatcher indirect-call behaviour: all functions, Zipf popularity
+	// over a random rank permutation.
+	perm := structR.Perm(p.NumFuncs)
+	dispatchTargets := make([]int, p.NumFuncs)
+	copy(dispatchTargets, funcEntries)
+	indByBlock[d0] = &IndirectBehavior{
+		TargetBlocks: dispatchTargets,
+		Weights:      zipfWeights(p.NumFuncs, p.ZipfS, perm),
+		RunLen:       p.FuncRunLen,
+	}
+	for _, ip := range indPatches {
+		targets := make([]int, len(ip.callees))
+		for i, c := range ip.callees {
+			targets[i] = funcEntries[c]
+		}
+		indByBlock[ip.block] = &IndirectBehavior{TargetBlocks: targets, Weights: ip.weights, RunLen: ip.runLen}
+	}
+
+	prog, err := b.Finish(d0)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", p.Name, err)
+	}
+
+	// Convert block-keyed behaviours to instruction-ID keys (the branch is
+	// always the last instruction of its block).
+	lastInst := func(blockID int) uint32 {
+		blk := &prog.Blocks[blockID]
+		return uint32(blk.First + blk.N - 1)
+	}
+	for blockID, cb := range condByBlock {
+		beh.Cond[lastInst(blockID)] = cb
+	}
+	for blockID, ib := range indByBlock {
+		beh.Indirect[lastInst(blockID)] = ib
+	}
+
+	// Memory behaviours: assigned per static memory instruction from a
+	// derived stream so they are independent of structure generation.
+	memR := r.Derive(4)
+	for i := range prog.Insts {
+		in := &prog.Insts[i]
+		switch in.Class {
+		case isa.ClassLoad, isa.ClassStore, isa.ClassLoadOp:
+			beh.Mem[in.ID] = newMemBehavior(p, memR)
+		}
+	}
+
+	return &Workload{Profile: p, Program: prog, Behaviors: beh}, nil
+}
+
+func newMemBehavior(p *Profile, r *rng.Source) *MemBehavior {
+	mb := &MemBehavior{}
+	x := r.Float64()
+	switch {
+	case x < p.ColdFrac:
+		mb.Base, mb.Size = coldBase, p.ColdBytes
+	case x < p.ColdFrac+p.WarmFrac:
+		mb.Base, mb.Size = warmBase, p.WarmBytes
+	default:
+		mb.Base, mb.Size = hotBase, p.HotBytes
+	}
+	if mb.Size == 0 {
+		mb.Size = 1 << 12
+	}
+	// Most instructions stride (array walks, stack frames); the rest roam
+	// randomly (pointer chasing, hashing).
+	if r.Bool(0.7) {
+		strides := []uint32{4, 8, 8, 16, 64}
+		mb.Stride = strides[r.Intn(len(strides))]
+	}
+	return mb
+}
+
+// buildFunc creates one function and returns its entry block ID.
+func buildFunc(
+	p *Profile,
+	b *program.Builder,
+	structR, behR *rng.Source,
+	f int,
+	condByBlock map[int]*CondBehavior,
+	indByBlock map[int]*IndirectBehavior,
+	patchCall func(block, callee int),
+	patchIndirectCall func(block int, callees []int, weights []float64, runLen float64),
+) (entry int, err error) {
+	entry = -1
+	segments := structR.Geometric(float64(p.SegmentsPerFunc), p.SegmentsPerFunc*3)
+	body := func() int { return structR.Geometric(p.BlockInsts, p.MaxBlockInsts) }
+	note := func(block int) {
+		if entry == -1 {
+			entry = block
+		}
+	}
+
+	utils := utilityFuncs(p.NumFuncs)
+	firstUtil := p.NumFuncs - utils
+	canCall := f < firstUtil // utility (leaf) functions make no calls
+	for s := 0; s < segments; s++ {
+		x := structR.Float64()
+		switch {
+		case x < p.LoopFrac:
+			// Loop: body blocks B1..Bk, last ends with a backward
+			// conditional branch to B1.
+			k := structR.Range(1, maxInt(1, p.LoopBodyBlocks))
+			first := -1
+			for i := 0; i < k; i++ {
+				var blk int
+				if i == k-1 {
+					blk = b.AddBranchBlock(body(), isa.BranchCond, -1)
+				} else {
+					blk = b.AddBlock(body())
+				}
+				if first == -1 {
+					first = blk
+				}
+				note(blk)
+			}
+			last := first + k - 1
+			b.SetTarget(last, first)
+			condByBlock[last] = newLoopBehavior(p, behR)
+		case canCall && x < p.LoopFrac+p.CallFrac:
+			// Call site: one block ending in a (possibly indirect) call to
+			// a higher-indexed function.
+			// Callees come from the shared utility pool (leaf functions).
+			if behR.Bool(p.IndirectCallFrac) {
+				blk := b.AddBranchBlock(body(), isa.BranchIndirectCall, -1)
+				note(blk)
+				n := minInt(p.IndirectTargets, utils)
+				if n < 1 {
+					n = 1
+				}
+				callees := make([]int, n)
+				weights := make([]float64, n)
+				for i := 0; i < n; i++ {
+					callees[i] = structR.Range(firstUtil, p.NumFuncs-1)
+					weights[i] = 1 / float64(i+1)
+				}
+				patchIndirectCall(blk, callees, weights, 2+p.FuncRunLen)
+			} else {
+				callee := structR.Range(firstUtil, p.NumFuncs-1)
+				blk := b.AddBranchBlock(body(), isa.BranchCall, -1)
+				note(blk)
+				patchCall(blk, callee)
+			}
+		case x < p.LoopFrac+p.CallFrac+0.62:
+			if structR.Bool(0.5) {
+				// If-else diamond with the classic layout: A cond-jumps to
+				// the else part E when taken; the then part T ends with an
+				// unconditional jump over E to the join J. The jump is a
+				// taken control transfer that terminates uop cache entries
+				// mid-line, a major fragmentation source (§III-D).
+				a := b.AddBranchBlock(body(), isa.BranchCond, -1)
+				note(a)
+				t := b.AddBranchBlock(body(), isa.BranchJump, -1)
+				e := b.AddBlock(body())
+				j := b.AddBlock(structR.Range(1, 3))
+				b.SetTarget(a, e)
+				b.SetTarget(t, j)
+				condByBlock[a] = newCondBehavior(p, behR)
+			} else {
+				// If-then diamond: cond block A (taken skips S to join J),
+				// skip block(s) S, then control continues at J.
+				a := b.AddBranchBlock(body(), isa.BranchCond, -1)
+				note(a)
+				nSkip := structR.Range(1, 2)
+				for i := 0; i < nSkip; i++ {
+					b.AddBlock(body())
+				}
+				j := b.AddBlock(structR.Range(1, 3))
+				b.SetTarget(a, j)
+				condByBlock[a] = newCondBehavior(p, behR)
+			}
+		default:
+			// Straight-line run.
+			blk := b.AddBlock(body())
+			note(blk)
+		}
+	}
+	// Epilogue: return block.
+	ret := b.AddBranchBlock(structR.Range(1, 3), isa.BranchRet, -1)
+	note(ret)
+	if entry < 0 {
+		return -1, fmt.Errorf("workload: function %d built no blocks", f)
+	}
+	return entry, nil
+}
+
+// newCondBehavior classifies a diamond's conditional branch. It consumes
+// exactly two draws from r regardless of the chosen kind so that changing a
+// profile's fractions shifts classification thresholds monotonically without
+// reshuffling every later branch's assignment — which keeps per-profile MPKI
+// calibration stable.
+func newCondBehavior(p *Profile, r *rng.Source) *CondBehavior {
+	x := r.Float64()
+	aux := r.Uint64()
+	switch {
+	case x < p.ChaoticFrac:
+		return &CondBehavior{Kind: BehChaotic, P: p.ChaoticP}
+	case x < p.ChaoticFrac+p.PatternFrac:
+		// Short periods with exactly one minority outcome (e.g. TNNN,
+		// NTTTT) — the shapes real periodic branches take.
+		maxLen := maxInt(2, minInt(p.PatternLenMax, 4))
+		n := 2 + int(aux%uint64(maxLen-1))
+		minority := uint(aux>>8) % uint(n)
+		var pat uint64
+		if aux>>32&1 == 1 {
+			pat = (1<<uint(n) - 1) &^ (1 << minority) // mostly taken
+		} else {
+			pat = 1 << minority // mostly not taken
+		}
+		return &CondBehavior{Kind: BehPattern, Pattern: pat, PatLen: n}
+	default:
+		// Mostly-taken branches fall through ~BiasP of the time; mostly
+		// not-taken branches are error/slow paths taken far more rarely
+		// (keeps BTB discovery mispredicts from dominating MPKI).
+		pTaken := p.BiasP / 4
+		if aux%100 < 62 { // most biased branches are mostly taken
+			pTaken = 1 - p.BiasP
+		}
+		return &CondBehavior{Kind: BehBiased, P: pTaken}
+	}
+}
+
+// newLoopBehavior consumes exactly two draws (see newCondBehavior).
+func newLoopBehavior(p *Profile, r *rng.Source) *CondBehavior {
+	x := r.Float64()
+	aux := r.Uint64()
+	cb := &CondBehavior{Kind: BehLoop, TripMean: p.TripMean}
+	fixedFrac := p.FixedTripFrac
+	if fixedFrac == 0 {
+		fixedFrac = 0.75
+	}
+	// Most loops have deterministic (compile-time-like) trip counts, which a
+	// TAGE predictor learns (and whose exit misses amortize over the trips);
+	// the rest vary per entry.
+	if x < fixedFrac {
+		lo := maxInt(2, int(p.TripMean)/2)
+		hi := int(2 * p.TripMean)
+		cb.FixedTrip = lo + int(aux%uint64(hi-lo+1))
+	}
+	return cb
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

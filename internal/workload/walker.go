@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"uopsim/internal/isa"
+	"uopsim/internal/program"
+	"uopsim/internal/rng"
+	"uopsim/internal/trace"
+)
+
+// Walker executes a Workload architecturally, producing the oracle dynamic
+// instruction stream. It is deterministic for a given workload seed.
+type Walker struct {
+	prog *program.Program
+	beh  *Behaviors
+	rnd  *rng.Source
+
+	cur   uint32   // current static instruction ID
+	stack []uint32 // call stack of resume instruction IDs
+
+	trips    map[uint32]int    // live loop back-edge counters
+	patPos   map[uint32]uint32 // pattern positions per branch
+	indRun   map[uint32]*indirectRun
+	memPos   map[uint32]uint64 // per-instruction stream offsets
+	executed uint64
+}
+
+type indirectRun struct {
+	remaining int
+	target    uint64
+}
+
+// NewWalker positions a walker at the workload's dispatcher.
+func NewWalker(w *Workload) *Walker {
+	entryBlock := &w.Program.Blocks[w.Behaviors.DispatchBlock]
+	return &Walker{
+		prog:   w.Program,
+		beh:    w.Behaviors,
+		rnd:    rng.New(w.Profile.Seed).Derive(5),
+		cur:    uint32(entryBlock.First),
+		trips:  make(map[uint32]int),
+		patPos: make(map[uint32]uint32),
+		indRun: make(map[uint32]*indirectRun),
+		memPos: make(map[uint32]uint64),
+	}
+}
+
+// Executed returns the number of instructions produced so far.
+func (w *Walker) Executed() uint64 { return w.executed }
+
+// Depth returns the current call-stack depth (diagnostics/tests).
+func (w *Walker) Depth() int { return len(w.stack) }
+
+// Next implements trace.Stream; the workload stream is unbounded so ok is
+// always true.
+func (w *Walker) Next() (trace.Rec, bool) {
+	in := w.prog.Inst(w.cur)
+	rec := trace.Rec{InstID: w.cur}
+	w.executed++
+
+	switch {
+	case in.IsBranch():
+		w.stepBranch(in, &rec)
+	default:
+		rec.Next = in.End()
+		if w.prog.At(rec.Next) == nil {
+			// Fell off the end of the code region (cannot happen with the
+			// synthesizer's layout, but keep replayed traces safe).
+			rec.Next = w.prog.Entry
+		}
+		switch in.Class {
+		case isa.ClassLoad, isa.ClassStore, isa.ClassLoadOp:
+			rec.MemAddr = w.memAddr(in)
+		}
+	}
+
+	next := w.prog.At(rec.Next)
+	if next == nil {
+		rec.Next = w.prog.Entry
+		next = w.prog.At(rec.Next)
+	}
+	w.cur = next.ID
+	return rec, true
+}
+
+func (w *Walker) stepBranch(in *isa.Inst, rec *trace.Rec) {
+	fall := in.End()
+	switch in.Branch {
+	case isa.BranchCond:
+		taken := w.condOutcome(in)
+		rec.Taken = taken
+		if taken {
+			rec.Next = in.Target
+		} else {
+			rec.Next = fall
+		}
+	case isa.BranchJump:
+		rec.Taken = true
+		rec.Next = in.Target
+	case isa.BranchCall:
+		rec.Taken = true
+		rec.Next = in.Target
+		w.push(in.ID + 1)
+	case isa.BranchIndirectCall:
+		rec.Taken = true
+		rec.Next = w.indirectTarget(in)
+		w.push(in.ID + 1)
+	case isa.BranchIndirect:
+		rec.Taken = true
+		rec.Next = w.indirectTarget(in)
+	case isa.BranchRet:
+		rec.Taken = true
+		if len(w.stack) > 0 {
+			resume := w.stack[len(w.stack)-1]
+			w.stack = w.stack[:len(w.stack)-1]
+			rec.Next = w.prog.Inst(resume).Addr
+		} else {
+			rec.Next = w.prog.Entry
+		}
+	default:
+		rec.Taken = true
+		rec.Next = fall
+	}
+}
+
+func (w *Walker) push(resumeID uint32) {
+	if int(resumeID) >= w.prog.NumInsts() {
+		resumeID = w.prog.Inst(0).ID
+	}
+	w.stack = append(w.stack, resumeID)
+}
+
+func (w *Walker) condOutcome(in *isa.Inst) bool {
+	cb := w.beh.Cond[in.ID]
+	if cb == nil {
+		// Unannotated conditional (replayed or hand-built programs):
+		// fall through.
+		return false
+	}
+	switch cb.Kind {
+	case BehChaotic, BehBiased:
+		return w.rnd.Bool(cb.P)
+	case BehPattern:
+		pos := w.patPos[in.ID]
+		w.patPos[in.ID] = pos + 1
+		return cb.Pattern>>(pos%uint32(cb.PatLen))&1 == 1
+	case BehLoop:
+		remaining, live := w.trips[in.ID]
+		if !live {
+			remaining = w.sampleTrips(cb)
+		}
+		remaining--
+		if remaining > 0 {
+			w.trips[in.ID] = remaining
+			return true // loop back
+		}
+		delete(w.trips, in.ID)
+		return false // exit
+	default:
+		return false
+	}
+}
+
+func (w *Walker) sampleTrips(cb *CondBehavior) int {
+	if cb.FixedTrip > 0 {
+		return cb.FixedTrip
+	}
+	return w.rnd.Geometric(cb.TripMean, int(8*cb.TripMean)+1)
+}
+
+func (w *Walker) indirectTarget(in *isa.Inst) uint64 {
+	ib := w.beh.Indirect[in.ID]
+	if ib == nil || len(ib.TargetBlocks) == 0 {
+		return w.prog.Entry
+	}
+	run := w.indRun[in.ID]
+	if run == nil {
+		run = &indirectRun{}
+		w.indRun[in.ID] = run
+	}
+	if run.remaining > 0 {
+		run.remaining--
+		return run.target
+	}
+	idx := w.rnd.Choose(ib.Weights)
+	blk := &w.prog.Blocks[ib.TargetBlocks[idx]]
+	run.target = w.prog.Inst(uint32(blk.First)).Addr
+	if ib.RunLen > 1 {
+		run.remaining = w.rnd.Geometric(ib.RunLen, int(4*ib.RunLen)+1) - 1
+	}
+	return run.target
+}
+
+func (w *Walker) memAddr(in *isa.Inst) uint64 {
+	mb := w.beh.Mem[in.ID]
+	if mb == nil {
+		return 0
+	}
+	if mb.Stride == 0 {
+		return mb.Base + w.rnd.Uint64()%mb.Size
+	}
+	off := w.memPos[in.ID]
+	w.memPos[in.ID] = off + uint64(mb.Stride)
+	return mb.Base + off%mb.Size
+}

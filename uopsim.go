@@ -1,0 +1,137 @@
+// Package uopsim is a cycle-level simulator of an x86 processor front end
+// built to reproduce "Improving the Utilization of Micro-operation Caches in
+// x86 Processors" (Kotra & Kalamatianos, MICRO 2020): a decoupled branch
+// prediction unit, a micro-operation cache with the paper's CLASP and
+// compaction (RAC / PWAC / F-PWAC) optimizations, an I-cache + decoder path,
+// a loop cache, and an out-of-order back end, driven by synthetic workloads
+// calibrated to the paper's Table II.
+//
+// Quick start:
+//
+//	cfg := uopsim.DefaultConfig()          // Table I machine, baseline uop cache
+//	m, err := uopsim.Run(cfg, "bm_cc", 50_000, 200_000)
+//	fmt.Println(m.UPC, m.OCFetchRatio)
+//
+// Design points from the paper are expressed as Schemes:
+//
+//	for _, sc := range uopsim.Schemes(2) { // baseline, CLASP, RAC, PWAC, F-PWAC
+//	    m, _ := uopsim.Run(sc.Configure(2048), "bm_cc", 50_000, 200_000)
+//	    fmt.Println(sc.Name, m.UPC)
+//	}
+//
+// Every table and figure of the paper's evaluation can be regenerated with
+// RunExperiment (or the cmd/uopexp binary). See DESIGN.md and EXPERIMENTS.md.
+package uopsim
+
+import (
+	"fmt"
+	"io"
+
+	"uopsim/internal/experiments"
+	"uopsim/internal/pipeline"
+	"uopsim/internal/uopcache"
+	"uopsim/internal/workload"
+)
+
+// Config is the whole-core configuration (Table I defaults via
+// DefaultConfig).
+type Config = pipeline.Config
+
+// Metrics are the paper-facing measurements of a run.
+type Metrics = pipeline.Metrics
+
+// Simulator is a configured core bound to one workload.
+type Simulator = pipeline.Sim
+
+// WorkloadSpec describes one synthetic workload (see internal/workload).
+type WorkloadSpec = workload.Profile
+
+// Scheme is one uop cache design point (baseline, CLASP, RAC, PWAC, F-PWAC).
+type Scheme = experiments.Scheme
+
+// ExperimentParams scales experiment runs.
+type ExperimentParams = experiments.Params
+
+// Compaction allocation policies (§V-B of the paper).
+const (
+	AllocNone  = uopcache.AllocNone
+	AllocRAC   = uopcache.AllocRAC
+	AllocPWAC  = uopcache.AllocPWAC
+	AllocFPWAC = uopcache.AllocFPWAC
+)
+
+// DefaultConfig returns the Table I machine with a baseline 2K-uop cache.
+func DefaultConfig() Config { return pipeline.DefaultConfig() }
+
+// WithCLASP enables Cache-Line-boundary-AgnoStic entry construction (§V-A):
+// entries may span two sequential I-cache lines.
+func WithCLASP(cfg Config) Config {
+	cfg.Limits.MaxICLines = 2
+	cfg.UopCache.MaxICLines = 2
+	return cfg
+}
+
+// WithCompaction enables multi-entry uop cache lines with the given
+// allocation policy (§V-B). The paper evaluates compaction on top of CLASP,
+// which this helper also enables.
+func WithCompaction(cfg Config, alloc uopcache.Alloc, maxEntriesPerLine int) Config {
+	cfg = WithCLASP(cfg)
+	if maxEntriesPerLine < 2 {
+		maxEntriesPerLine = 2
+	}
+	cfg.UopCache.MaxEntriesPerLine = maxEntriesPerLine
+	cfg.UopCache.Alloc = alloc
+	return cfg
+}
+
+// Workloads returns the 13 Table II workload profiles.
+func Workloads() []*WorkloadSpec { return workload.Profiles() }
+
+// WorkloadNames lists the workload names in the paper's figure order.
+func WorkloadNames() []string { return workload.Names() }
+
+// Schemes returns the paper's five design points; maxEntries bounds
+// compaction (2 in the main results, 3 in the §VI-B1 sensitivity study).
+func Schemes(maxEntries int) []Scheme { return experiments.Schemes(maxEntries) }
+
+// NewSimulator builds a simulator for the named Table II workload.
+func NewSimulator(cfg Config, workloadName string) (*Simulator, error) {
+	prof, err := workload.ByName(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := workload.Build(prof)
+	if err != nil {
+		return nil, err
+	}
+	return pipeline.New(cfg, wl)
+}
+
+// Run simulates the named workload for warmup+measure instructions and
+// returns metrics over the measured interval.
+func Run(cfg Config, workloadName string, warmup, measure uint64) (Metrics, error) {
+	sim, err := NewSimulator(cfg, workloadName)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return sim.RunMeasured(warmup, measure)
+}
+
+// Experiments lists the available experiment IDs and titles in paper order.
+func Experiments() []struct{ ID, Title string } {
+	var out []struct{ ID, Title string }
+	for _, e := range experiments.All() {
+		out = append(out, struct{ ID, Title string }{e.ID, e.Title})
+	}
+	return out
+}
+
+// RunExperiment regenerates one paper table/figure, writing the rendered
+// rows to w. Valid IDs come from Experiments.
+func RunExperiment(id string, w io.Writer, p ExperimentParams) error {
+	d, ok := experiments.ByID(id)
+	if !ok {
+		return fmt.Errorf("uopsim: unknown experiment %q", id)
+	}
+	return d(w, p)
+}

@@ -1,0 +1,72 @@
+package uopsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPublicAPISmoke(t *testing.T) {
+	if len(WorkloadNames()) != 13 || len(Workloads()) != 13 {
+		t.Fatal("expected the 13 Table II workloads")
+	}
+	m, err := Run(DefaultConfig(), "bm_ds", 10_000, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.UPC <= 0 || m.OCFetchRatio <= 0 {
+		t.Fatalf("degenerate metrics: %+v", m)
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	cfg := WithCLASP(DefaultConfig())
+	if cfg.Limits.MaxICLines != 2 || cfg.UopCache.MaxICLines != 2 {
+		t.Error("WithCLASP incomplete")
+	}
+	cfg2 := WithCompaction(DefaultConfig(), AllocFPWAC, 3)
+	if cfg2.UopCache.MaxEntriesPerLine != 3 || cfg2.UopCache.Alloc != AllocFPWAC {
+		t.Error("WithCompaction incomplete")
+	}
+	if cfg2.Limits.MaxICLines != 2 {
+		t.Error("compaction should imply CLASP (paper §VI-A)")
+	}
+	if err := cfg2.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemesConfigure(t *testing.T) {
+	for _, sc := range Schemes(2) {
+		if err := sc.Configure(2048).Validate(); err != nil {
+			t.Errorf("%s: %v", sc.Name, err)
+		}
+	}
+}
+
+func TestNewSimulatorUnknownWorkload(t *testing.T) {
+	if _, err := NewSimulator(DefaultConfig(), "bogus"); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestRunExperimentUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("nope", &buf, ExperimentParams{}); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunExperimentSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	p := ExperimentParams{WarmupInsts: 5_000, MeasureInsts: 15_000, Workloads: []string{"redis"}}
+	if err := RunExperiment("fig6", &buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "redis") {
+		t.Errorf("output missing workload row:\n%s", buf.String())
+	}
+	if len(Experiments()) != 17 {
+		t.Errorf("experiments = %d", len(Experiments()))
+	}
+}

@@ -27,11 +27,7 @@ var benchWorkloads = []string{"bm_cc", "nutch", "redis", "bm_x64"}
 
 func runPoint(b *testing.B, name string, cfg Config) Metrics {
 	b.Helper()
-	prof, err := workload.ByName(name)
-	if err != nil {
-		b.Fatal(err)
-	}
-	wl, err := workload.Build(prof)
+	wl, err := workload.Shared(name)
 	if err != nil {
 		b.Fatal(err)
 	}

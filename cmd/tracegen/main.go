@@ -27,11 +27,7 @@ func main() {
 	)
 	flag.Parse()
 
-	prof, err := workload.ByName(*name)
-	if err != nil {
-		fatal(err)
-	}
-	wl, err := workload.Build(prof)
+	wl, err := workload.Shared(*name)
 	if err != nil {
 		fatal(err)
 	}

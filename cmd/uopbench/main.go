@@ -1,0 +1,209 @@
+// Command uopbench is the repo's perf-regression harness: it measures
+// simulator throughput (insts/s) and allocation rates (allocs/op, bytes/op)
+// for the BenchmarkTableII workloads and writes a machine-readable report,
+// conventionally committed as BENCH_pipeline.json so successive PRs record
+// the performance trajectory.
+//
+// Usage:
+//
+//	uopbench -out BENCH_pipeline.json              # measure, write report
+//	uopbench -out new.json -before old.json        # embed previous numbers
+//	uopbench -golden testdata/golden_metrics.json  # dump golden metrics
+//
+// The -golden mode runs every scheme x workload point at a small fixed scale
+// and dumps the exact Metrics; the root TestGoldenMetrics compares the
+// current simulator against that file bit-for-bit, so perf work cannot
+// silently change reported numbers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"uopsim"
+)
+
+// benchWorkloads mirrors the root bench_test.go BenchmarkTableII set.
+var benchWorkloads = []string{"bm_cc", "nutch", "redis", "bm_x64"}
+
+// Result is one workload's measurement.
+type Result struct {
+	Workload    string  `json:"workload"`
+	InstsPerSec float64 `json:"insts_per_sec"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	UPC         float64 `json:"upc"`
+	MPKI        float64 `json:"mpki"`
+}
+
+// Report is the serialized harness output.
+type Report struct {
+	Bench   string   `json:"bench"`
+	Warmup  uint64   `json:"warmup_insts"`
+	Measure uint64   `json:"measure_insts"`
+	Iters   int      `json:"iters_per_workload"`
+	Results []Result `json:"results"`
+	// Before carries the previous report (typically the state before an
+	// optimization PR) for side-by-side comparison.
+	Before *Report `json:"before,omitempty"`
+}
+
+// GoldenPoint is one scheme x workload metrics dump.
+type GoldenPoint struct {
+	Workload string         `json:"workload"`
+	Scheme   string         `json:"scheme"`
+	Capacity int            `json:"capacity"`
+	Metrics  uopsim.Metrics `json:"metrics"`
+}
+
+// Golden-dump scale: small enough for a test, large enough to exercise every
+// front-end path. These constants are shared with the root golden test via
+// the JSON header.
+type GoldenFile struct {
+	Warmup  uint64        `json:"warmup_insts"`
+	Measure uint64        `json:"measure_insts"`
+	Points  []GoldenPoint `json:"points"`
+}
+
+const (
+	goldenWarmup  = 2_000
+	goldenMeasure = 10_000
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_pipeline.json", "output report path (\"-\" for stdout)")
+		before    = flag.String("before", "", "previous report to embed under \"before\"")
+		golden    = flag.String("golden", "", "write a golden metrics dump to this path and exit")
+		warmup    = flag.Uint64("warmup", 30_000, "warmup instructions per run")
+		insts     = flag.Uint64("insts", 100_000, "measured instructions per run")
+		iters     = flag.Int("iters", 3, "measured iterations per workload")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: TableII bench set)")
+	)
+	flag.Parse()
+
+	if *golden != "" {
+		if err := writeGolden(*golden); err != nil {
+			fmt.Fprintln(os.Stderr, "uopbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	names := benchWorkloads
+	if *workloads != "" {
+		names = strings.Split(*workloads, ",")
+	}
+	rep, err := run(names, *warmup, *insts, *iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uopbench:", err)
+		os.Exit(1)
+	}
+	if *before != "" {
+		prev, err := readReport(*before)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uopbench:", err)
+			os.Exit(1)
+		}
+		prev.Before = nil // keep at most one level of history
+		rep.Before = prev
+	}
+	if err := writeJSON(*out, rep); err != nil {
+		fmt.Fprintln(os.Stderr, "uopbench:", err)
+		os.Exit(1)
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-10s %12.0f insts/s %10d allocs/op %12d B/op  UPC=%.3f MPKI=%.2f\n",
+			r.Workload, r.InstsPerSec, r.AllocsPerOp, r.BytesPerOp, r.UPC, r.MPKI)
+	}
+}
+
+// run measures each workload: one untimed warmup op, then iters timed ops.
+// An op is a full simulation (NewSimulator + RunMeasured), matching the root
+// BenchmarkTableII, so workload-build sharing shows up in the numbers.
+func run(names []string, warmup, insts uint64, iters int) (*Report, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	rep := &Report{Bench: "TableII", Warmup: warmup, Measure: insts, Iters: iters}
+	cfg := uopsim.DefaultConfig()
+	for _, name := range names {
+		var m uopsim.Metrics
+		if _, err := uopsim.Run(cfg, name, warmup, insts); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		var msBefore, msAfter runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&msBefore)
+		start := time.Now()
+		total := uint64(0)
+		for i := 0; i < iters; i++ {
+			var err error
+			m, err = uopsim.Run(cfg, name, warmup, insts)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			total += m.Insts
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&msAfter)
+		rep.Results = append(rep.Results, Result{
+			Workload:    name,
+			InstsPerSec: float64(total) / elapsed.Seconds(),
+			AllocsPerOp: (msAfter.Mallocs - msBefore.Mallocs) / uint64(iters),
+			BytesPerOp:  (msAfter.TotalAlloc - msBefore.TotalAlloc) / uint64(iters),
+			NsPerOp:     elapsed.Nanoseconds() / int64(iters),
+			UPC:         m.UPC,
+			MPKI:        m.BranchMPKI,
+		})
+	}
+	return rep, nil
+}
+
+// writeGolden dumps exact metrics for every scheme x workload point.
+func writeGolden(path string) error {
+	gf := GoldenFile{Warmup: goldenWarmup, Measure: goldenMeasure}
+	for _, name := range uopsim.WorkloadNames() {
+		for _, sc := range uopsim.Schemes(2) {
+			m, err := uopsim.Run(sc.Configure(2048), name, goldenWarmup, goldenMeasure)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", name, sc.Name, err)
+			}
+			gf.Points = append(gf.Points, GoldenPoint{
+				Workload: name, Scheme: sc.Name, Capacity: 2048, Metrics: m,
+			})
+		}
+	}
+	return writeJSON(path, gf)
+}
+
+func readReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

@@ -6,12 +6,15 @@
 //	uopexp -exp fig16
 //	uopexp -exp all -insts 300000 -warmup 100000
 //	uopexp -exp fig3 -workloads bm_cc,nutch
+//	uopexp -exp fig3 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -19,13 +22,21 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the real main body so profile-flushing defers execute before the
+// process exits (os.Exit in main would skip them).
+func run() int {
 	var (
-		exp       = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
-		warmup    = flag.Uint64("warmup", 100_000, "warmup instructions per run")
-		insts     = flag.Uint64("insts", 300_000, "measured instructions per run")
-		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all 13)")
-		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = default)")
-		list      = flag.Bool("list", false, "list experiments and exit")
+		exp        = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+		warmup     = flag.Uint64("warmup", 100_000, "warmup instructions per run")
+		insts      = flag.Uint64("insts", 300_000, "measured instructions per run")
+		workloads  = flag.String("workloads", "", "comma-separated workload subset (default: all 13)")
+		parallel   = flag.Int("parallel", 0, "concurrent simulations (0 = all CPUs)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -33,7 +44,35 @@ func main() {
 		for _, e := range uopsim.Experiments() {
 			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uopexp:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "uopexp:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "uopexp:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush accumulated allocation stats
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "uopexp:", err)
+			}
+		}()
 	}
 
 	params := uopsim.ExperimentParams{
@@ -56,8 +95,9 @@ func main() {
 		start := time.Now()
 		if err := uopsim.RunExperiment(id, os.Stdout, params); err != nil {
 			fmt.Fprintln(os.Stderr, "uopexp:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
 	}
+	return 0
 }

@@ -128,11 +128,7 @@ func main() {
 // newReplaySim opens a tracegen-captured file and builds a replay simulator
 // for the named workload's static program.
 func newReplaySim(cfg uopsim.Config, workloadName, path string) (*uopsim.Simulator, error) {
-	prof, err := workload.ByName(workloadName)
-	if err != nil {
-		return nil, err
-	}
-	wl, err := workload.Build(prof)
+	wl, err := workload.Shared(workloadName)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,73 @@
+package uopsim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"uopsim"
+	"uopsim/internal/pipeline"
+	"uopsim/internal/workload"
+)
+
+// TestSharedBuildDeterminism proves the shared-build registry is
+// behaviourally invisible: building a workload once and running N simulations
+// against the shared immutable build yields exactly the Metrics of N runs
+// that each rebuild the workload from its profile, across all five schemes.
+// Any mutable state leaking from the simulator into the shared build (or
+// between concurrent users of it) would break this equality.
+func TestSharedBuildDeterminism(t *testing.T) {
+	const (
+		name    = "redis"
+		warmup  = 2_000
+		measure = 10_000
+		runs    = 2
+	)
+	prof, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := workload.Shared(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range uopsim.Schemes(2) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			cfg := sc.Configure(2048)
+			var want pipeline.Metrics
+			for i := 0; i < runs; i++ {
+				// Fresh build from the profile each time.
+				wl, err := workload.Build(prof)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sim, err := pipeline.New(cfg, wl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := sim.RunMeasured(warmup, measure)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i == 0 {
+					want = m
+				} else if !reflect.DeepEqual(m, want) {
+					t.Fatalf("fresh builds disagree between runs:\n%+v\n%+v", want, m)
+				}
+			}
+			for i := 0; i < runs; i++ {
+				sim, err := pipeline.New(cfg, shared)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := sim.RunMeasured(warmup, measure)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(m, want) {
+					t.Fatalf("shared-build run %d diverged from fresh build:\n%+v\n%+v", i, want, m)
+				}
+			}
+		})
+	}
+}

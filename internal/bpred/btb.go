@@ -34,6 +34,11 @@ type btbLevel struct {
 	ways  int
 	data  []btbEntry // sets*ways
 	ticks uint64
+
+	// scratch backs the hit list returned by lookup; it is valid only until
+	// the next lookup on this level. The BTB is probed for every prediction
+	// window, so a per-call allocation here dominated the heap profile.
+	scratch []*btbEntry
 }
 
 func newBTBLevel(sets, ways int) *btbLevel {
@@ -44,10 +49,11 @@ const lineShift = 6 // 64B lines
 
 // lookup returns all entries tagged with lineAddr (a line with many branches
 // can occupy several ways, each holding up to two branches), refreshing LRU.
+// The returned slice is reused by the next lookup on this level.
 func (l *btbLevel) lookup(lineAddr uint64) []*btbEntry {
 	set := int(lineAddr>>lineShift) & (l.sets - 1)
 	base := set * l.ways
-	var hits []*btbEntry
+	hits := l.scratch[:0]
 	for w := 0; w < l.ways; w++ {
 		e := &l.data[base+w]
 		if e.valid && e.tag == lineAddr {
@@ -56,6 +62,7 @@ func (l *btbLevel) lookup(lineAddr uint64) []*btbEntry {
 			hits = append(hits, e)
 		}
 	}
+	l.scratch = hits
 	return hits
 }
 

@@ -58,13 +58,7 @@ func Ablations(w io.Writer, p Params) error {
 			works = append(works, work{vi, name})
 		}
 	}
-	par := p.Parallel
-	if par <= 0 {
-		par = 8
-	}
-	if par > len(works) {
-		par = len(works)
-	}
+	par := parallelism(p, len(works))
 	in := make(chan work)
 	out := make(chan res)
 	for i := 0; i < par; i++ {
@@ -133,11 +127,7 @@ func safeRatio(a, b float64) float64 {
 
 // runOneCfg mirrors runOne but with an explicit configuration.
 func runOneCfg(p Params, name, schemeName string, cfg pipeline.Config) (Run, error) {
-	prof, err := workload.ByName(name)
-	if err != nil {
-		return Run{}, err
-	}
-	wl, err := workload.Build(prof)
+	wl, err := workload.Shared(name)
 	if err != nil {
 		return Run{}, err
 	}

@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 
 	"uopsim/internal/pipeline"
@@ -91,13 +92,11 @@ type Run struct {
 	OCStats  *uopcache.Stats
 }
 
-// runOne builds the workload fresh (simulations are independent) and runs it.
+// runOne runs one scheme x capacity point against the shared immutable
+// workload build (per-run state lives in the simulator's walker, so jobs
+// stay independent).
 func runOne(p Params, name string, sc Scheme, capacity int) (Run, error) {
-	prof, err := workload.ByName(name)
-	if err != nil {
-		return Run{}, err
-	}
-	wl, err := workload.Build(prof)
+	wl, err := workload.Shared(name)
 	if err != nil {
 		return Run{}, err
 	}
@@ -111,7 +110,7 @@ func runOne(p Params, name string, sc Scheme, capacity int) (Run, error) {
 	}
 	return Run{
 		Workload: name,
-		Suite:    prof.Suite,
+		Suite:    wl.Profile.Suite,
 		Scheme:   sc.Name,
 		Capacity: capacity,
 		Metrics:  m,
@@ -126,20 +125,29 @@ type job struct {
 	capacity int
 }
 
+// parallelism resolves Params.Parallel: 0 (or negative) means all CPUs,
+// clamped to the job count so the sweep never spins up idle workers.
+func parallelism(p Params, jobs int) int {
+	par := p.Parallel
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	if par > jobs {
+		par = jobs
+	}
+	return par
+}
+
 // sweep executes all jobs, in parallel, returning runs keyed by
-// workload/scheme/capacity.
+// workload/scheme/capacity. When some jobs fail, the runs that did complete
+// are returned alongside an error describing the first failure, so callers
+// can salvage partial sweeps.
 func sweep(p Params, jobs []job) (map[string]Run, error) {
 	type result struct {
 		run Run
 		err error
 	}
-	par := p.Parallel
-	if par <= 0 {
-		par = 8
-	}
-	if par > len(jobs) {
-		par = len(jobs)
-	}
+	par := parallelism(p, len(jobs))
 	in := make(chan job)
 	out := make(chan result)
 	for w := 0; w < par; w++ {
@@ -158,9 +166,11 @@ func sweep(p Params, jobs []job) (map[string]Run, error) {
 	}()
 	runs := make(map[string]Run, len(jobs))
 	var firstErr error
+	failed := 0
 	for range jobs {
 		res := <-out
 		if res.err != nil {
+			failed++
 			if firstErr == nil {
 				firstErr = res.err
 			}
@@ -169,7 +179,7 @@ func sweep(p Params, jobs []job) (map[string]Run, error) {
 		runs[key(res.run.Workload, res.run.Scheme, res.run.Capacity)] = res.run
 	}
 	if firstErr != nil {
-		return nil, firstErr
+		return runs, fmt.Errorf("sweep: %d of %d jobs failed (first: %w)", failed, len(jobs), firstErr)
 	}
 	return runs, nil
 }

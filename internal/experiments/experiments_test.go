@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -89,6 +90,40 @@ func TestSweepSurfacesErrors(t *testing.T) {
 	p := tinyParams()
 	if _, err := sweep(p, []job{{"not_a_workload", Schemes(2)[0], 2048}}); err == nil {
 		t.Error("unknown workload must error")
+	}
+}
+
+func TestSweepReturnsPartialResults(t *testing.T) {
+	p := tinyParams()
+	base := Schemes(2)[0]
+	jobs := []job{
+		{"bm_ds", base, 2048},
+		{"not_a_workload", base, 2048},
+		{"redis", base, 2048},
+	}
+	runs, err := sweep(p, jobs)
+	if err == nil {
+		t.Fatal("sweep with a bad job must error")
+	}
+	if !strings.Contains(err.Error(), "1 of 3 jobs failed") {
+		t.Errorf("error should count failures, got: %v", err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("partial runs = %d, want 2", len(runs))
+	}
+	for _, name := range []string{"bm_ds", "redis"} {
+		if runs[key(name, "baseline", 2048)].Metrics.Insts == 0 {
+			t.Errorf("missing completed run for %s", name)
+		}
+	}
+}
+
+func TestParallelismDefaultsToNumCPU(t *testing.T) {
+	if got := parallelism(Params{}, 1_000_000); got != runtime.NumCPU() {
+		t.Errorf("parallelism(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := parallelism(Params{Parallel: 64}, 3); got != 3 {
+		t.Errorf("parallelism must clamp to job count, got %d", got)
 	}
 }
 

@@ -39,13 +39,7 @@ func SMT(w io.Writer, p Params) error {
 			works = append(works, work{name, sc})
 		}
 	}
-	par := p.Parallel
-	if par <= 0 {
-		par = 8
-	}
-	if par > len(works) {
-		par = len(works)
-	}
+	par := parallelism(p, len(works))
 	in := make(chan work)
 	out := make(chan res)
 	for i := 0; i < par; i++ {

@@ -1,0 +1,44 @@
+package pipeline
+
+import (
+	"testing"
+
+	"uopsim/internal/workload"
+)
+
+// TestCycleLoopAllocLean bounds the steady-state cycle loop's allocation
+// rate. The loop is not allocation-free — prediction windows carry a Conds
+// slice and uop cache fills build entries — but the bulk structures (PW
+// queue, uop queue, fetch groups, walker state, redirect bookkeeping) are
+// pooled or preallocated, so the residual rate per cycle must stay small.
+// The bound is deliberately loose (~3x the observed rate) so it catches a
+// reintroduced per-cycle allocation, not benchmark noise.
+func TestCycleLoopAllocLean(t *testing.T) {
+	prof, err := workload.ByName("bm_cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(DefaultConfig(), wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	const steps = 20_000
+	avg := testing.AllocsPerRun(5, func() {
+		for i := 0; i < steps; i++ {
+			s.step()
+		}
+	})
+	perCycle := avg / steps
+	const bound = 2.0
+	if perCycle > bound {
+		t.Errorf("steady-state cycle loop allocates %.2f objects/cycle, want <= %.1f", perCycle, bound)
+	}
+	t.Logf("steady-state allocations: %.3f objects/cycle", perCycle)
+}

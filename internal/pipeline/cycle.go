@@ -55,7 +55,7 @@ func (s *Sim) step() {
 	s.drain(c)
 	s.fetchStep(c)
 	s.bpuStep(c)
-	if !s.orOK && s.redirect == nil {
+	if !s.orOK && !s.redirectPending {
 		// A finite (replayed) oracle has ended: instructions fetched past
 		// the last record are wrong-path with no misprediction left to
 		// squash them, so discard them as they reach the queue head.
@@ -67,12 +67,11 @@ func (s *Sim) step() {
 }
 
 func (s *Sim) fireExecRedirect(c int64) {
-	r := s.redirect
-	if r == nil || c < r.fire {
+	if !s.redirectPending || c < s.redirect.fire {
 		return
 	}
-	s.m.mispLatSum += uint64(r.fire - r.fetchCycle)
-	s.flushFrontEnd(c, r.target, true)
+	s.m.mispLatSum += uint64(s.redirect.fire - s.redirect.fetchCycle)
+	s.flushFrontEnd(c, s.redirect.target, true)
 }
 
 func (s *Sim) dispatch(c int64) {
@@ -110,10 +109,11 @@ func (s *Sim) dispatch(c int64) {
 		if u.LastOfInst {
 			s.m.insts++
 			if u.Mispredicted {
-				if s.redirect != nil {
+				if s.redirectPending {
 					panic("pipeline: overlapping mispredict redirects")
 				}
-				s.redirect = &pendingRedirect{fire: done + 1, target: u.ActualNext, fetchCycle: u.FetchCycle}
+				s.redirect = pendingRedirect{fire: done + 1, target: u.ActualNext, fetchCycle: u.FetchCycle}
+				s.redirectPending = true
 				s.m.mispFetchToDisp += uint64(c - u.FetchCycle)
 				s.m.mispDispToDone += uint64(done - c)
 			}
@@ -133,7 +133,9 @@ func (s *Sim) drain(c int64) {
 				}
 				s.ocPipe.PopReady(c)
 				popsOC++
-				if s.popGroup(c, g) {
+				fired := s.popGroup(c, g)
+				s.putItems(g.items)
+				if fired {
 					return // redirect fired
 				}
 				continue
@@ -146,7 +148,9 @@ func (s *Sim) drain(c int64) {
 				}
 				s.lcPipe.PopReady(c)
 				popsLC++
-				if s.popGroup(c, g) {
+				fired := s.popGroup(c, g)
+				s.putItems(g.items)
+				if fired {
 					return
 				}
 				continue
@@ -233,16 +237,17 @@ func (s *Sim) flushFrontEnd(c int64, target uint64, flushUQ bool) {
 		s.ocb.Flush()
 	}
 	s.pred.Redirect()
-	s.pwQueue = s.pwQueue[:0]
+	s.pwClear()
 	s.pw = nil
-	s.lcRemaining = nil
+	s.lcRemaining = s.lcRemaining[:0]
+	s.lcHead = 0
 	s.bpuPC, s.fetchAddr, s.curAddr = target, target, target
 	s.wrongPath = false
 	s.nextPopSeq = s.seq
 	s.fetchStall = c + 1
 	s.bpuStall = c + 1
 	s.lastICLine = ^uint64(0)
-	s.redirect = nil
+	s.redirectPending = false
 }
 
 func (s *Sim) fetchStep(c int64) {
@@ -266,9 +271,8 @@ func (s *Sim) fetchStep(c int64) {
 }
 
 func (s *Sim) acquirePW(c int64) bool {
-	for len(s.pwQueue) > 0 {
-		pw := s.pwQueue[0]
-		s.pwQueue = s.pwQueue[1:]
+	for s.pwCount > 0 {
+		pw := s.pwAt(0)
 		if s.fetchAddr > pw.Start {
 			// A previous uop cache entry overshot this window (sequential
 			// flow absorbed by a multi-PW entry).
@@ -282,17 +286,19 @@ func (s *Sim) acquirePW(c int64) bool {
 			if !pw.EndsTaken && s.fetchAddr >= pw.End {
 				s.m.absorbedPWs++
 				s.m.absorbedConds += uint64(len(pw.Conds))
+				s.pwPopN(1)
 				continue // window fully absorbed
 			}
 		}
-		cp := pw
-		s.pw = &cp
-		s.curAddr = pw.Start
+		s.pwCur = *pw
+		s.pwPopN(1)
+		s.pw = &s.pwCur
+		s.curAddr = s.pwCur.Start
 		if s.fetchAddr > s.curAddr {
 			s.curAddr = s.fetchAddr
 		}
 		s.pwFromOC = false
-		if loop, ok := s.lc.Lookup(s.curAddr); ok && pw.EndsTaken && pw.TakenPC == loop.BranchPC {
+		if loop, ok := s.lc.Lookup(s.curAddr); ok && s.pwCur.EndsTaken && s.pwCur.TakenPC == loop.BranchPC {
 			s.pwMode = modeLC
 			s.prepareLC(c, loop)
 		} else {
@@ -305,7 +311,7 @@ func (s *Sim) acquirePW(c int64) bool {
 
 func (s *Sim) resync(c int64) {
 	s.m.resyncs++
-	s.pwQueue = s.pwQueue[:0]
+	s.pwClear()
 	s.pw = nil
 	s.bpuPC = s.fetchAddr
 	s.fetchStall = c + 1
@@ -331,7 +337,7 @@ func (s *Sim) ocStep(c int64) {
 	}
 	s.pwFromOC = true
 
-	var g fGroup
+	g := fGroup{items: s.getItems()}
 	cur := s.pw
 	consumed := 0 // PWs taken from the queue beyond s.pw
 	finishedTaken := false
@@ -343,8 +349,8 @@ func (s *Sim) ocStep(c int64) {
 		}
 		// Advance the window cursor across sequential window boundaries.
 		for cur != nil && !cur.EndsTaken && in.Addr >= cur.End {
-			if consumed < len(s.pwQueue) && s.pwQueue[consumed].Start == cur.End {
-				cur = &s.pwQueue[consumed]
+			if consumed < s.pwCount && s.pwAt(consumed).Start == cur.End {
+				cur = s.pwAt(consumed)
 				consumed++
 			} else {
 				cur = nil
@@ -366,6 +372,7 @@ func (s *Sim) ocStep(c int64) {
 		}
 	}
 	if len(g.items) == 0 {
+		s.putItems(g.items)
 		s.pwMode = modeIC
 		return
 	}
@@ -374,9 +381,9 @@ func (s *Sim) ocStep(c int64) {
 
 	// Commit cursor state: windows strictly before cur are fully fetched.
 	if consumed > 0 {
-		cp := s.pwQueue[consumed-1]
-		s.pwQueue = s.pwQueue[consumed:]
-		s.pw = &cp
+		s.pwCur = *s.pwAt(consumed - 1)
+		s.pwPopN(consumed)
+		s.pw = &s.pwCur
 	}
 	cur2 := s.pw // cur aliases either old s.pw or the new copy's original slot
 	switch {
@@ -432,6 +439,7 @@ func (s *Sim) icStep(c int64) {
 func (s *Sim) prepareLC(c int64, loop *loopcache.Loop) {
 	pw := s.pw
 	s.lcRemaining = s.lcRemaining[:0]
+	s.lcHead = 0
 	for _, id := range loop.InstIDs {
 		in := s.prog.Inst(id)
 		s.lcRemaining = append(s.lcRemaining, s.makeItem(c, in, uopq.SrcLoopCache, pw))
@@ -442,24 +450,25 @@ func (s *Sim) lcStep(c int64) {
 	if !s.lcPipe.CanPush(c) {
 		return
 	}
-	var g fGroup
-	for len(s.lcRemaining) > 0 {
-		it := s.lcRemaining[0]
+	g := fGroup{items: s.getItems()}
+	for s.lcHead < len(s.lcRemaining) {
+		it := s.lcRemaining[s.lcHead]
 		if g.uops+int(it.inst.NumUops) > 8 && len(g.items) > 0 {
 			break
 		}
 		it.fetchCycle = c
 		g.items = append(g.items, it)
 		g.uops += int(it.inst.NumUops)
-		s.lcRemaining = s.lcRemaining[1:]
+		s.lcHead++
 	}
 	if len(g.items) == 0 {
+		s.putItems(g.items)
 		s.pwMode = modeOC // defensive: empty loop body
 		return
 	}
 	s.lc.NoteServed(g.uops)
 	s.lcPipe.Push(c, g)
-	if len(s.lcRemaining) == 0 {
+	if s.lcHead == len(s.lcRemaining) {
 		s.finishPW(s.pw.NextPC)
 	}
 }
@@ -505,7 +514,7 @@ func (s *Sim) captureLoop(pw *fetch.PW) {
 }
 
 func (s *Sim) bpuStep(c int64) {
-	if s.bpuStall > c || len(s.pwQueue) >= s.cfg.PWQueueSize {
+	if s.bpuStall > c || s.pwCount >= s.cfg.PWQueueSize {
 		return
 	}
 	pw := s.pwb.Build(s.bpuPC)
@@ -513,7 +522,7 @@ func (s *Sim) bpuStep(c int64) {
 		s.bpuStall = c + int64(pw.Penalty)
 	}
 	s.hier.PrefetchInst(pw.Start)
-	s.pwQueue = append(s.pwQueue, pw)
+	s.pwPush(pw)
 	s.bpuPC = pw.NextPC
 }
 

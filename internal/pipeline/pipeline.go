@@ -164,12 +164,17 @@ type Sim struct {
 
 	cycle int64
 
-	// Fetch-side state.
+	// Fetch-side state. The PW queue is a fixed ring (head/count over pwQ)
+	// and the current window lives in pwCur: both avoid the per-window heap
+	// traffic a sliced queue and an escaping copy would cause on this path.
 	seq          uint64
 	nextPopSeq   uint64
-	pwQueue      []fetch.PW
-	pw           *fetch.PW
-	pwFromOC     bool // current PW has had at least one OC hit (switch penalty)
+	pwQ          []fetch.PW // ring buffer, capacity PWQueueSize
+	pwHead       int
+	pwCount      int
+	pwCur        fetch.PW  // backing store for pw
+	pw           *fetch.PW // nil or &pwCur
+	pwFromOC     bool      // current PW has had at least one OC hit (switch penalty)
 	pwMode       fetchMode
 	curAddr      uint64
 	fetchAddr    uint64
@@ -178,10 +183,16 @@ type Sim struct {
 	fetchStall   int64
 	lastICLine   uint64
 	lcRemaining  []fItem // loop-cache emission backlog for the current PW
+	lcHead       int     // consume cursor into lcRemaining
 	wrongPath    bool
 	nextOraclePC uint64
 
-	redirect *pendingRedirect
+	// itemFree recycles fGroup item slices between front-end pipe pushes
+	// and drains (groups dropped by a flush are simply reallocated later).
+	itemFree [][]fItem
+
+	redirect        pendingRedirect
+	redirectPending bool
 
 	// OnConsume, when set, observes every correct-path instruction in
 	// program order as the front end consumes it (testing hook: the
@@ -251,6 +262,7 @@ func newSim(cfg Config, wl *workload.Workload, oracle trace.Stream, ocCache *uop
 		ocPipe: decode.NewPipe[fGroup](cfg.OCLatency, 1, 8),
 		dcPipe: decode.NewPipe[fItem](cfg.ICFetchLatency+cfg.DecodeLatency, cfg.DecodeWidth, 64),
 		lcPipe: decode.NewPipe[fGroup](1, 1, 4),
+		pwQ:    make([]fetch.PW, maxInt(cfg.PWQueueSize, 1)),
 	}
 	s.pwb = fetch.NewBuilder(cfg.Fetch, s.pred)
 	s.ocb = uopcache.NewBuilder(cfg.Limits, s.oc.Stats, func(e *uopcache.Entry) { s.oc.Fill(e) })
@@ -297,4 +309,63 @@ func (s *Sim) InvalidateCodeLine(addr uint64) int {
 	s.lc.InvalidateRange(line, line+64)
 	s.hier.L1I.Invalidate(line)
 	return n
+}
+
+// PW ring-buffer accessors. Indices are relative to the queue head; callers
+// never hold more than pwCount entries, so a single wrap subtraction suffices.
+
+func (s *Sim) pwAt(i int) *fetch.PW {
+	j := s.pwHead + i
+	if j >= len(s.pwQ) {
+		j -= len(s.pwQ)
+	}
+	return &s.pwQ[j]
+}
+
+func (s *Sim) pwPush(pw fetch.PW) {
+	j := s.pwHead + s.pwCount
+	if j >= len(s.pwQ) {
+		j -= len(s.pwQ)
+	}
+	s.pwQ[j] = pw
+	s.pwCount++
+}
+
+func (s *Sim) pwPopN(n int) {
+	s.pwHead += n
+	if s.pwHead >= len(s.pwQ) {
+		s.pwHead -= len(s.pwQ)
+	}
+	s.pwCount -= n
+}
+
+func (s *Sim) pwClear() {
+	s.pwHead, s.pwCount = 0, 0
+}
+
+// getItems/putItems recycle fGroup item slices. A group's items are fully
+// copied into the uop queue when the group drains, so the slice can be reused
+// the moment popGroup returns.
+
+func (s *Sim) getItems() []fItem {
+	if n := len(s.itemFree); n > 0 {
+		it := s.itemFree[n-1]
+		s.itemFree = s.itemFree[:n-1]
+		return it
+	}
+	return make([]fItem, 0, 8)
+}
+
+func (s *Sim) putItems(items []fItem) {
+	if cap(items) == 0 {
+		return
+	}
+	s.itemFree = append(s.itemFree, items[:0])
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -197,7 +197,7 @@ func (b *Builder) Finish(entryBlock int) (*Program, error) {
 		return nil, fmt.Errorf("builder: invalid entry block %d", entryBlock)
 	}
 
-	p := &Program{Base: b.base, byAddr: make(map[uint64]int32)}
+	p := &Program{Base: b.base}
 	addr := b.base
 	for bi := range b.blocks {
 		bb := &b.blocks[bi]
@@ -215,12 +215,20 @@ func (b *Builder) Finish(entryBlock int) (*Program, error) {
 			in.Addr = addr
 			in.ID = uint32(len(p.Insts))
 			addr += uint64(in.Len)
-			p.byAddr[in.Addr] = int32(in.ID)
 			p.Insts = append(p.Insts, in)
 		}
 		p.Blocks = append(p.Blocks, blk)
 	}
 	p.Limit = addr
+
+	// Dense offset -> instruction ID table (see Program.At).
+	p.addrTab = make([]int32, p.Limit-p.Base)
+	for i := range p.addrTab {
+		p.addrTab[i] = -1
+	}
+	for i := range p.Insts {
+		p.addrTab[p.Insts[i].Addr-p.Base] = int32(i)
+	}
 
 	// Patch direct branch targets now that every block has an address.
 	for bi := range p.Blocks {

@@ -44,15 +44,23 @@ type Program struct {
 	// Base and Limit bound the code region: Base <= addr < Limit.
 	Base, Limit uint64
 
-	byAddr map[uint64]int32 // instruction start address -> Inst.ID
+	// addrTab maps code-region byte offsets to instruction IDs (-1 at
+	// non-boundary bytes). The region is contiguous, so a dense table makes
+	// At a bounds check + load — it is the hottest lookup in the simulator
+	// (every fetched instruction and every walker step goes through it).
+	addrTab []int32
 }
 
 // At returns the instruction starting at addr, or nil when addr is not an
 // instruction boundary (e.g. a wrong-path fetch into the middle of an
 // encoding or outside the code region).
 func (p *Program) At(addr uint64) *isa.Inst {
-	id, ok := p.byAddr[addr]
-	if !ok {
+	off := addr - p.Base // addr < Base wraps far past len(addrTab)
+	if off >= uint64(len(p.addrTab)) {
+		return nil
+	}
+	id := p.addrTab[off]
+	if id < 0 {
 		return nil
 	}
 	return &p.Insts[id]

@@ -39,11 +39,11 @@ type Pair struct {
 // New builds an SMT pair running profileA and profileB under cfg. The uop
 // cache configuration is instantiated once and shared.
 func New(cfg pipeline.Config, profileA, profileB *workload.Profile) (*Pair, error) {
-	wlA, err := workload.BuildAt(profileA, workload.CodeBase)
+	wlA, err := workload.SharedBuildAt(profileA, workload.CodeBase)
 	if err != nil {
 		return nil, fmt.Errorf("smt thread A: %w", err)
 	}
-	wlB, err := workload.BuildAt(profileB, ThreadBBase)
+	wlB, err := workload.SharedBuildAt(profileB, ThreadBBase)
 	if err != nil {
 		return nil, fmt.Errorf("smt thread B: %w", err)
 	}

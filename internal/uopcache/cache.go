@@ -305,13 +305,7 @@ func (c *Cache) tryForcedPWAC(set int, e *Entry) bool {
 		if s.Bytes()+e.Bytes() > LineBytes || c.cfg.MaxEntriesPerLine < 2 {
 			continue
 		}
-		// Collect foreign entries and find the LRU line among the others.
-		foreign := make([]*Entry, 0, len(l.entries)-1)
-		for i, old := range l.entries {
-			if i != si {
-				foreign = append(foreign, old)
-			}
-		}
+		// Find the LRU line among the others to receive X's foreign entries.
 		lru := -1
 		for w2 := range ways {
 			if w2 == w {
@@ -330,7 +324,11 @@ func (c *Cache) tryForcedPWAC(set int, e *Entry) bool {
 			c.Stats.EntryEvict.Add(uint64(len(dst.entries)))
 		}
 		dst.entries = dst.entries[:0]
-		dst.entries = append(dst.entries, foreign...)
+		for i, old := range l.entries {
+			if i != si {
+				dst.entries = append(dst.entries, old)
+			}
+		}
 		c.touch(dst) // paper: replacement info of the relocated line is updated
 
 		l.entries = l.entries[:0]

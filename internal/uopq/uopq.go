@@ -85,7 +85,11 @@ func (q *Queue) Push(u Uop) bool {
 	if q.size == len(q.buf) {
 		return false
 	}
-	q.buf[(q.head+q.size)%len(q.buf)] = u
+	i := q.head + q.size
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = u
 	q.size++
 	return true
 }
@@ -104,7 +108,10 @@ func (q *Queue) Pop() (Uop, bool) {
 		return Uop{}, false
 	}
 	u := q.buf[q.head]
-	q.head = (q.head + 1) % len(q.buf)
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
 	q.size--
 	return u, true
 }

@@ -1,0 +1,31 @@
+package workload
+
+import "testing"
+
+// TestWalkerStepAllocFree pins the walker's per-step allocation behaviour:
+// once the call stack has reached its steady-state capacity, Next must not
+// allocate at all — every behaviour lookup and every piece of dynamic state
+// (loop trips, pattern positions, indirect runs, memory stream offsets) is a
+// dense slice sized at construction.
+func TestWalkerStepAllocFree(t *testing.T) {
+	prof, err := ByName("bm_cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(wl)
+	for i := 0; i < 200_000; i++ {
+		w.Next()
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		for i := 0; i < 5_000; i++ {
+			w.Next()
+		}
+	})
+	if avg != 0 {
+		t.Errorf("walker allocated %.1f times per 5k steady-state steps, want 0", avg)
+	}
+}

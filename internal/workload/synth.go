@@ -72,10 +72,16 @@ type Behaviors struct {
 }
 
 // Workload bundles a synthesized program with its behaviours and profile.
+// A built workload is immutable and safe to share across concurrent
+// simulations (all run state lives in Walkers).
 type Workload struct {
 	Profile   *Profile
 	Program   *program.Program
 	Behaviors *Behaviors
+
+	// idx is the dense behaviour index shared by every walker over this
+	// build (nil for hand-assembled workloads; NewWalker then builds one).
+	idx *behaviorIndex
 }
 
 // Data-region bases; code occupies a disjoint region at CodeBase.
@@ -217,7 +223,9 @@ func BuildAt(p *Profile, base uint64) (*Workload, error) {
 		}
 	}
 
-	return &Workload{Profile: p, Program: prog, Behaviors: beh}, nil
+	wl := &Workload{Profile: p, Program: prog, Behaviors: beh}
+	wl.idx = newBehaviorIndex(prog, beh)
+	return wl, nil
 }
 
 func newMemBehavior(p *Profile, r *rng.Source) *MemBehavior {

@@ -7,40 +7,78 @@ import (
 	"uopsim/internal/trace"
 )
 
+// behaviorIndex re-keys the Behaviors maps as dense slices indexed by static
+// instruction ID so the walker's per-instruction path does no map lookups.
+// It is built once per workload build (BuildAt) and shared by every walker.
+type behaviorIndex struct {
+	cond []*CondBehavior
+	ind  []*IndirectBehavior
+	mem  []*MemBehavior
+}
+
+func newBehaviorIndex(prog *program.Program, beh *Behaviors) *behaviorIndex {
+	n := prog.NumInsts()
+	idx := &behaviorIndex{
+		cond: make([]*CondBehavior, n),
+		ind:  make([]*IndirectBehavior, n),
+		mem:  make([]*MemBehavior, n),
+	}
+	for id, cb := range beh.Cond {
+		idx.cond[id] = cb
+	}
+	for id, ib := range beh.Indirect {
+		idx.ind[id] = ib
+	}
+	for id, mb := range beh.Mem {
+		idx.mem[id] = mb
+	}
+	return idx
+}
+
 // Walker executes a Workload architecturally, producing the oracle dynamic
 // instruction stream. It is deterministic for a given workload seed.
+//
+// All walker state is dense, indexed by static instruction ID: the walker
+// runs once per fetched instruction, and map-backed state dominated the
+// simulator's profile before the conversion.
 type Walker struct {
 	prog *program.Program
-	beh  *Behaviors
+	idx  *behaviorIndex
 	rnd  *rng.Source
 
 	cur   uint32   // current static instruction ID
 	stack []uint32 // call stack of resume instruction IDs
 
-	trips    map[uint32]int    // live loop back-edge counters
-	patPos   map[uint32]uint32 // pattern positions per branch
-	indRun   map[uint32]*indirectRun
-	memPos   map[uint32]uint64 // per-instruction stream offsets
+	trips    []int32       // live loop back-edge counters (0 = not live)
+	patPos   []uint32      // pattern positions per branch
+	indRun   []indirectRun // indirect-target run state per branch
+	memPos   []uint64      // per-instruction stream offsets
 	executed uint64
 }
 
 type indirectRun struct {
-	remaining int
+	remaining int32
 	target    uint64
 }
 
 // NewWalker positions a walker at the workload's dispatcher.
 func NewWalker(w *Workload) *Walker {
 	entryBlock := &w.Program.Blocks[w.Behaviors.DispatchBlock]
+	idx := w.idx
+	if idx == nil {
+		// Hand-built or replay workloads that bypassed BuildAt.
+		idx = newBehaviorIndex(w.Program, w.Behaviors)
+	}
+	n := w.Program.NumInsts()
 	return &Walker{
 		prog:   w.Program,
-		beh:    w.Behaviors,
+		idx:    idx,
 		rnd:    rng.New(w.Profile.Seed).Derive(5),
 		cur:    uint32(entryBlock.First),
-		trips:  make(map[uint32]int),
-		patPos: make(map[uint32]uint32),
-		indRun: make(map[uint32]*indirectRun),
-		memPos: make(map[uint32]uint64),
+		trips:  make([]int32, n),
+		patPos: make([]uint32, n),
+		indRun: make([]indirectRun, n),
+		memPos: make([]uint64, n),
 	}
 }
 
@@ -130,7 +168,7 @@ func (w *Walker) push(resumeID uint32) {
 }
 
 func (w *Walker) condOutcome(in *isa.Inst) bool {
-	cb := w.beh.Cond[in.ID]
+	cb := w.idx.cond[in.ID]
 	if cb == nil {
 		// Unannotated conditional (replayed or hand-built programs):
 		// fall through.
@@ -144,16 +182,16 @@ func (w *Walker) condOutcome(in *isa.Inst) bool {
 		w.patPos[in.ID] = pos + 1
 		return cb.Pattern>>(pos%uint32(cb.PatLen))&1 == 1
 	case BehLoop:
-		remaining, live := w.trips[in.ID]
-		if !live {
+		remaining := int(w.trips[in.ID])
+		if remaining == 0 { // not live: entering the loop
 			remaining = w.sampleTrips(cb)
 		}
 		remaining--
 		if remaining > 0 {
-			w.trips[in.ID] = remaining
+			w.trips[in.ID] = int32(remaining)
 			return true // loop back
 		}
-		delete(w.trips, in.ID)
+		w.trips[in.ID] = 0
 		return false // exit
 	default:
 		return false
@@ -168,15 +206,11 @@ func (w *Walker) sampleTrips(cb *CondBehavior) int {
 }
 
 func (w *Walker) indirectTarget(in *isa.Inst) uint64 {
-	ib := w.beh.Indirect[in.ID]
+	ib := w.idx.ind[in.ID]
 	if ib == nil || len(ib.TargetBlocks) == 0 {
 		return w.prog.Entry
 	}
-	run := w.indRun[in.ID]
-	if run == nil {
-		run = &indirectRun{}
-		w.indRun[in.ID] = run
-	}
+	run := &w.indRun[in.ID]
 	if run.remaining > 0 {
 		run.remaining--
 		return run.target
@@ -185,13 +219,13 @@ func (w *Walker) indirectTarget(in *isa.Inst) uint64 {
 	blk := &w.prog.Blocks[ib.TargetBlocks[idx]]
 	run.target = w.prog.Inst(uint32(blk.First)).Addr
 	if ib.RunLen > 1 {
-		run.remaining = w.rnd.Geometric(ib.RunLen, int(4*ib.RunLen)+1) - 1
+		run.remaining = int32(w.rnd.Geometric(ib.RunLen, int(4*ib.RunLen)+1) - 1)
 	}
 	return run.target
 }
 
 func (w *Walker) memAddr(in *isa.Inst) uint64 {
-	mb := w.beh.Mem[in.ID]
+	mb := w.idx.mem[in.ID]
 	if mb == nil {
 		return 0
 	}

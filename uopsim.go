@@ -94,13 +94,11 @@ func WorkloadNames() []string { return workload.Names() }
 // compaction (2 in the main results, 3 in the §VI-B1 sensitivity study).
 func Schemes(maxEntries int) []Scheme { return experiments.Schemes(maxEntries) }
 
-// NewSimulator builds a simulator for the named Table II workload.
+// NewSimulator builds a simulator for the named Table II workload. The
+// workload's immutable program is built once per process and shared across
+// simulators (see workload.Shared); all mutable run state is per-simulator.
 func NewSimulator(cfg Config, workloadName string) (*Simulator, error) {
-	prof, err := workload.ByName(workloadName)
-	if err != nil {
-		return nil, err
-	}
-	wl, err := workload.Build(prof)
+	wl, err := workload.Shared(workloadName)
 	if err != nil {
 		return nil, err
 	}

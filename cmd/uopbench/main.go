@@ -40,6 +40,9 @@ type Result struct {
 	NsPerOp     int64   `json:"ns_per_op"`
 	UPC         float64 `json:"upc"`
 	MPKI        float64 `json:"mpki"`
+	// Snapshot is the last iteration's full metrics registry dump, so BENCH
+	// files carry every observable instead of hand-picked fields.
+	Snapshot uopsim.StatsSnapshot `json:"snapshot,omitempty"`
 }
 
 // Report is the serialized harness output.
@@ -135,6 +138,7 @@ func run(names []string, warmup, insts uint64, iters int) (*Report, error) {
 	cfg := uopsim.DefaultConfig()
 	for _, name := range names {
 		var m uopsim.Metrics
+		var last *uopsim.Simulator
 		if _, err := uopsim.Run(cfg, name, warmup, insts); err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
@@ -144,12 +148,16 @@ func run(names []string, warmup, insts uint64, iters int) (*Report, error) {
 		start := time.Now()
 		total := uint64(0)
 		for i := 0; i < iters; i++ {
-			var err error
-			m, err = uopsim.Run(cfg, name, warmup, insts)
+			sim, err := uopsim.NewSimulator(cfg, name)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			m, err = sim.RunMeasured(warmup, insts)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", name, err)
 			}
 			total += m.Insts
+			last = sim
 		}
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&msAfter)
@@ -161,6 +169,7 @@ func run(names []string, warmup, insts uint64, iters int) (*Report, error) {
 			NsPerOp:     elapsed.Nanoseconds() / int64(iters),
 			UPC:         m.UPC,
 			MPKI:        m.BranchMPKI,
+			Snapshot:    last.StatsSnapshot(),
 		})
 	}
 	return rep, nil

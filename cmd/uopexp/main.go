@@ -7,14 +7,17 @@
 //	uopexp -exp all -insts 300000 -warmup 100000
 //	uopexp -exp fig3 -workloads bm_cc,nutch
 //	uopexp -exp fig3 -cpuprofile cpu.out -memprofile mem.out
+//	uopexp -exp fig3 -metrics snapshots.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -37,6 +40,7 @@ func run() int {
 		list       = flag.Bool("list", false, "list experiments and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		metricsOut = flag.String("metrics", "", "collect every run's full metrics registry snapshot into this JSON file")
 	)
 	flag.Parse()
 
@@ -83,6 +87,17 @@ func run() int {
 	if *workloads != "" {
 		params.Workloads = strings.Split(*workloads, ",")
 	}
+	var collected []runSnapshot
+	if *metricsOut != "" {
+		params.SnapshotSink = func(r uopsim.ExperimentRun) {
+			collected = append(collected, runSnapshot{
+				Workload: r.Workload,
+				Scheme:   r.Scheme,
+				Capacity: r.Capacity,
+				Snapshot: r.Snapshot,
+			})
+		}
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -99,5 +114,46 @@ func run() int {
 		}
 		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
 	}
+	if *metricsOut != "" {
+		if err := writeSnapshots(*metricsOut, collected); err != nil {
+			fmt.Fprintln(os.Stderr, "uopexp:", err)
+			return 1
+		}
+		fmt.Printf("[%d run snapshots written to %s]\n", len(collected), *metricsOut)
+	}
 	return 0
+}
+
+// runSnapshot pairs one sweep run's identity with its registry snapshot.
+type runSnapshot struct {
+	Workload string               `json:"workload"`
+	Scheme   string               `json:"scheme"`
+	Capacity int                  `json:"capacity"`
+	Snapshot uopsim.StatsSnapshot `json:"snapshot"`
+}
+
+// writeSnapshots dumps the collected snapshots sorted by run identity so the
+// output is stable across scheduling orders.
+func writeSnapshots(path string, runs []runSnapshot) error {
+	sort.Slice(runs, func(i, j int) bool {
+		a, b := runs[i], runs[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Scheme != b.Scheme {
+			return a.Scheme < b.Scheme
+		}
+		return a.Capacity < b.Capacity
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(runs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

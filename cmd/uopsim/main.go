@@ -4,6 +4,7 @@
 // Usage:
 //
 //	uopsim -workload bm_cc -scheme f-pwac -capacity 2048 -insts 300000
+//	uopsim -workload bm_cc -metrics metrics.json -trace tail.log
 //	uopsim -list
 package main
 
@@ -11,6 +12,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -31,7 +33,11 @@ func main() {
 		list         = flag.Bool("list", false, "list workloads and exit")
 		verbose      = flag.Bool("v", false, "also print uop cache entry statistics")
 		asJSON       = flag.Bool("json", false, "emit metrics as JSON (machine-readable)")
-		traceFile    = flag.String("trace", "", "replay a trace captured by tracegen for this workload instead of walking it live")
+		replayFile   = flag.String("replay", "", "replay a trace captured by tracegen for this workload instead of walking it live")
+		metricsOut   = flag.String("metrics", "", "write the full metrics registry snapshot as JSON to this file (\"-\" for stdout)")
+		promOut      = flag.String("prom", "", "write the metrics snapshot in Prometheus text format to this file (\"-\" for stdout)")
+		traceOut     = flag.String("trace", "", "record pipeline events and dump the last -trace-depth of them to this file (\"-\" for stdout)")
+		traceDepth   = flag.Int("trace-depth", 4096, "ring capacity for -trace event recording")
 	)
 	flag.Parse()
 
@@ -59,8 +65,8 @@ func main() {
 
 	var sim *uopsim.Simulator
 	var err error
-	if *traceFile != "" {
-		sim, err = newReplaySim(cfg, *workloadName, *traceFile)
+	if *replayFile != "" {
+		sim, err = newReplaySim(cfg, *workloadName, *replayFile)
 	} else {
 		sim, err = uopsim.NewSimulator(cfg, *workloadName)
 	}
@@ -68,10 +74,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "uopsim:", err)
 		os.Exit(1)
 	}
+	var ring *uopsim.RingObserver
+	if *traceOut != "" {
+		ring = uopsim.NewRingObserver(*traceDepth)
+		sim.SetObserver(ring)
+	}
 	m, err := sim.RunMeasured(*warmup, *insts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "uopsim:", err)
 		os.Exit(1)
+	}
+	if *metricsOut != "" {
+		if err := writeTo(*metricsOut, sim.StatsSnapshot().WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "uopsim:", err)
+			os.Exit(1)
+		}
+	}
+	if *promOut != "" {
+		snap := sim.StatsSnapshot()
+		if err := writeTo(*promOut, func(w io.Writer) error { return snap.WritePrometheus(w, "uopsim") }); err != nil {
+			fmt.Fprintln(os.Stderr, "uopsim:", err)
+			os.Exit(1)
+		}
+	}
+	if ring != nil {
+		if err := writeTo(*traceOut, ring.Dump); err != nil {
+			fmt.Fprintln(os.Stderr, "uopsim:", err)
+			os.Exit(1)
+		}
 	}
 	if *asJSON {
 		st := sim.UopCacheStats()
@@ -123,6 +153,22 @@ func main() {
 			100*st.TakenTermFraction(), 100*st.SpanFraction(), 100*st.CompactedFraction())
 		fmt.Printf("  alloc: RAC %.1f%% PWAC %.1f%% F-PWAC %.1f%%\n", 100*r, 100*pw, 100*f)
 	}
+}
+
+// writeTo streams write(w) into path, with "-" meaning stdout.
+func writeTo(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // newReplaySim opens a tracegen-captured file and builds a replay simulator

@@ -9,6 +9,7 @@ package backend
 import (
 	"uopsim/internal/isa"
 	"uopsim/internal/mem"
+	"uopsim/internal/stats"
 	"uopsim/internal/uopq"
 )
 
@@ -61,20 +62,31 @@ type Backend struct {
 	lastInst    *isa.Inst
 	lastUopDone int64
 
-	retiredUops  uint64
-	retiredInsts uint64
+	retiredUops stats.Counter
 
 	// Latency accounting (diagnostics): dispatch-to-complete sums by cause.
-	latSum, latDep, latPort, latN uint64
+	latSum, latDep, latPort, latN stats.Counter
+}
+
+// RegisterMetrics publishes the backend's counters under sc (expected mount
+// point: "backend").
+func (b *Backend) RegisterMetrics(sc stats.Scope) {
+	sc.RegisterCounter("uops.retired", &b.retiredUops)
+	lat := sc.Scope("lat")
+	lat.RegisterCounter("sum", &b.latSum)
+	lat.RegisterCounter("dep", &b.latDep)
+	lat.RegisterCounter("port", &b.latPort)
+	lat.RegisterCounter("uops", &b.latN)
+	sc.RegisterGauge("rob.occ", func() float64 { return float64(b.robLen) })
 }
 
 // LatencyProfile returns (avg dispatch->done, avg dep wait, avg port wait).
 func (b *Backend) LatencyProfile() (avg, dep, port float64) {
-	if b.latN == 0 {
+	if b.latN.Value() == 0 {
 		return 0, 0, 0
 	}
-	n := float64(b.latN)
-	return float64(b.latSum) / n, float64(b.latDep) / n, float64(b.latPort) / n
+	n := float64(b.latN.Value())
+	return float64(b.latSum.Value()) / n, float64(b.latDep.Value()) / n, float64(b.latPort.Value()) / n
 }
 
 const decRingSize = 2048 // must exceed the longest possible uop latency chain
@@ -143,10 +155,10 @@ func (b *Backend) Dispatch(cycle int64, u uopq.Uop) int64 {
 
 	use, n, lat, busy := b.classify(&u)
 	issue := b.reservePort(use, n, ready, int64(busy))
-	b.latDep += uint64(ready - (cycle + 1))
-	b.latPort += uint64(issue - ready)
-	b.latSum += uint64(issue + int64(lat) - cycle)
-	b.latN++
+	b.latDep.Add(uint64(ready - (cycle + 1)))
+	b.latPort.Add(uint64(issue - ready))
+	b.latSum.Add(uint64(issue + int64(lat) - cycle))
+	b.latN.Inc()
 	done := issue + int64(lat)
 
 	if in.Dest != isa.RegNone && u.LastOfInst {
@@ -257,7 +269,7 @@ func (b *Backend) Commit(cycle int64) int {
 		}
 		b.robHead = (b.robHead + 1) % len(b.rob)
 		b.robLen--
-		b.retiredUops++
+		b.retiredUops.Inc()
 		n++
 	}
 	return n
@@ -267,7 +279,7 @@ func (b *Backend) Commit(cycle int64) int {
 func (b *Backend) ROBOccupancy() int { return b.robLen }
 
 // RetiredUops returns the committed uop count.
-func (b *Backend) RetiredUops() uint64 { return b.retiredUops }
+func (b *Backend) RetiredUops() uint64 { return b.retiredUops.Value() }
 
 // Drained reports whether the backend has no uops in flight.
 func (b *Backend) Drained() bool { return b.robLen == 0 }

@@ -1,6 +1,9 @@
 package bpred
 
-import "uopsim/internal/isa"
+import (
+	"uopsim/internal/isa"
+	"uopsim/internal/stats"
+)
 
 // Predictor bundles the direction predictor, BTB, RAS and indirect target
 // predictor behind the two views the pipeline needs: a speculative view used
@@ -15,15 +18,26 @@ type Predictor struct {
 	spec *History
 	arch *History
 
-	condLookups uint64
-	condMiss    uint64
-	targetMiss  uint64
+	condLookups stats.Counter
+	condMiss    stats.Counter
+	targetMiss  stats.Counter
 
 	// Shadow is an optional reference predictor trained with immediate
 	// predict+update on the consumed branch sequence; it isolates timing
 	// effects from table effects in accuracy debugging.
 	Shadow     *Tage
-	shadowMiss uint64
+	shadowMiss stats.Counter
+}
+
+// RegisterMetrics publishes the predictor's counters under sc (expected
+// mount point: "bpu").
+func (p *Predictor) RegisterMetrics(sc stats.Scope) {
+	tage := sc.Scope("tage")
+	tage.RegisterCounter("lookups", &p.condLookups)
+	tage.RegisterCounter("mispredicts", &p.condMiss)
+	tage.RegisterGauge("accuracy", p.CondAccuracy)
+	sc.RegisterCounter("target.mispredicts", &p.targetMiss)
+	sc.RegisterCounter("shadow.mispredicts", &p.shadowMiss)
 }
 
 // New builds a predictor with the default Table I geometry.
@@ -92,25 +106,25 @@ func (p *Predictor) TrainCond(pc uint64, taken bool) (predictedTaken bool) {
 // returned by PredictCond) and the resolved outcome, in program order.
 func (p *Predictor) UpdateCond(pc uint64, pred Pred, taken bool) {
 	p.Tage.Update(pc, p.arch, pred, taken)
-	p.condLookups++
+	p.condLookups.Inc()
 	if pred.Taken != taken {
-		p.condMiss++
+		p.condMiss.Inc()
 	}
 	if p.Shadow != nil {
 		sp := p.Shadow.Predict(pc, p.arch)
 		p.Shadow.Update(pc, p.arch, sp, taken)
 		if sp.Taken != taken {
-			p.shadowMiss++
+			p.shadowMiss.Inc()
 		}
 	}
 }
 
 // ShadowAccuracy returns the shadow predictor's accuracy.
 func (p *Predictor) ShadowAccuracy() float64 {
-	if p.condLookups == 0 {
+	if p.condLookups.Value() == 0 {
 		return 0
 	}
-	return 1 - float64(p.shadowMiss)/float64(p.condLookups)
+	return 1 - float64(p.shadowMiss.Value())/float64(p.condLookups.Value())
 }
 
 // TrainTarget performs correct-path target training for a resolved branch.
@@ -131,7 +145,7 @@ func (p *Predictor) ArchCall(returnAddr uint64) { p.RAS.ArchPush(returnAddr) }
 func (p *Predictor) ArchRet() { p.RAS.ArchPop() }
 
 // NoteTargetMiss counts a correct-path target misprediction (statistics).
-func (p *Predictor) NoteTargetMiss() { p.targetMiss++ }
+func (p *Predictor) NoteTargetMiss() { p.targetMiss.Inc() }
 
 // Redirect restores all speculative state from the architectural state
 // (misprediction or discovery redirect).
@@ -143,11 +157,13 @@ func (p *Predictor) Redirect() {
 // CondAccuracy returns direction-prediction accuracy over correct-path
 // conditional branches.
 func (p *Predictor) CondAccuracy() float64 {
-	if p.condLookups == 0 {
+	if p.condLookups.Value() == 0 {
 		return 0
 	}
-	return 1 - float64(p.condMiss)/float64(p.condLookups)
+	return 1 - float64(p.condMiss.Value())/float64(p.condLookups.Value())
 }
 
 // Mispredicts returns (direction mispredicts, target mispredicts).
-func (p *Predictor) Mispredicts() (uint64, uint64) { return p.condMiss, p.targetMiss }
+func (p *Predictor) Mispredicts() (uint64, uint64) {
+	return p.condMiss.Value(), p.targetMiss.Value()
+}

@@ -5,6 +5,8 @@
 // internal/power.
 package decode
 
+import "uopsim/internal/stats"
+
 // Pipe is a fixed-latency, width-limited pipeline stage: at most Width items
 // enter per cycle, and each item exits Latency cycles later, in order.
 type Pipe[T any] struct {
@@ -17,7 +19,19 @@ type Pipe[T any] struct {
 
 	lastPushCycle int64
 	pushedThis    int
+
+	pushes stats.Counter
 }
+
+// RegisterMetrics publishes the pipe's push counter and occupancy gauge
+// under sc (mount points like "decode.pipe.oc").
+func (p *Pipe[T]) RegisterMetrics(sc stats.Scope) {
+	sc.RegisterCounter("pushes", &p.pushes)
+	sc.RegisterGauge("occ", func() float64 { return float64(p.count) })
+}
+
+// Pushes returns how many items have entered the pipe.
+func (p *Pipe[T]) Pushes() uint64 { return p.pushes.Value() }
 
 type pipeSlot[T any] struct {
 	value T
@@ -57,6 +71,7 @@ func (p *Pipe[T]) Push(cycle int64, v T) {
 		p.pushedThis = 0
 	}
 	p.pushedThis++
+	p.pushes.Inc()
 	idx := (p.head + p.count) % len(p.slots)
 	p.slots[idx] = pipeSlot[T]{value: v, ready: cycle + int64(p.latency)}
 	p.count++

@@ -78,19 +78,16 @@ func Ablations(w io.Writer, p Params) error {
 		close(in)
 	}()
 	byKey := map[string]pipeline.Metrics{}
-	var firstErr error
+	var fails failureSummary
 	for range works {
 		r := <-out
-		if r.err != nil {
-			if firstErr == nil {
-				firstErr = r.err
-			}
+		if !fails.note(r.err) {
 			continue
 		}
 		byKey[r.variant+"|"+r.workload] = r.m
 	}
-	if firstErr != nil {
-		return firstErr
+	if err := fails.error("ablations"); err != nil {
+		return err
 	}
 
 	t := stats.NewTable("Ablations: design-choice sensitivity (geomean over workloads, deltas vs CLASP+F-PWAC reference)",
@@ -139,5 +136,5 @@ func runOneCfg(p Params, name, schemeName string, cfg pipeline.Config) (Run, err
 	if err != nil {
 		return Run{}, fmt.Errorf("%s/%s: %w", name, schemeName, err)
 	}
-	return Run{Workload: name, Scheme: schemeName, Metrics: m, OCStats: sim.UopCacheStats()}, nil
+	return Run{Workload: name, Scheme: schemeName, Metrics: m, Snapshot: sim.StatsSnapshot()}, nil
 }

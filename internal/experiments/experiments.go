@@ -24,6 +24,11 @@ type Params struct {
 	Workloads []string
 	// Parallel runs up to this many simulations concurrently (0 = all CPUs).
 	Parallel int
+	// SnapshotSink, when set, receives every completed Run from sweep-based
+	// drivers (the tables and figures). It is called from the sweep's single
+	// collector goroutine, so implementations need no locking. The Ablations
+	// and SMT drivers use custom runners and do not feed the sink.
+	SnapshotSink func(Run)
 }
 
 func (p Params) withDefaults() Params {
@@ -82,14 +87,16 @@ func (s Scheme) Configure(capacityUops int) pipeline.Config {
 	return cfg
 }
 
-// Run is one completed simulation.
+// Run is one completed simulation. Snapshot is the simulator's full
+// end-of-run metrics registry state; figure drivers query it by path instead
+// of reaching into component stats structs.
 type Run struct {
 	Workload string
 	Suite    string
 	Scheme   string
 	Capacity int
 	Metrics  pipeline.Metrics
-	OCStats  *uopcache.Stats
+	Snapshot stats.Snapshot
 }
 
 // runOne runs one scheme x capacity point against the shared immutable
@@ -114,7 +121,7 @@ func runOne(p Params, name string, sc Scheme, capacity int) (Run, error) {
 		Scheme:   sc.Name,
 		Capacity: capacity,
 		Metrics:  m,
-		OCStats:  sim.UopCacheStats(),
+		Snapshot: sim.StatsSnapshot(),
 	}, nil
 }
 
@@ -165,23 +172,47 @@ func sweep(p Params, jobs []job) (map[string]Run, error) {
 		close(in)
 	}()
 	runs := make(map[string]Run, len(jobs))
-	var firstErr error
-	failed := 0
+	var fails failureSummary
 	for range jobs {
 		res := <-out
-		if res.err != nil {
-			failed++
-			if firstErr == nil {
-				firstErr = res.err
-			}
+		if !fails.note(res.err) {
 			continue
 		}
 		runs[key(res.run.Workload, res.run.Scheme, res.run.Capacity)] = res.run
+		if p.SnapshotSink != nil {
+			p.SnapshotSink(res.run)
+		}
 	}
-	if firstErr != nil {
-		return runs, fmt.Errorf("sweep: %d of %d jobs failed (first: %w)", failed, len(jobs), firstErr)
+	return runs, fails.error("sweep")
+}
+
+// failureSummary aggregates failures across a parallel job batch so the
+// returned error carries both the failure count and the first underlying
+// error's text (a bare count buries the actual cause).
+type failureSummary struct {
+	failed, total int
+	first         error
+}
+
+// note records one job outcome and reports whether it succeeded.
+func (f *failureSummary) note(err error) bool {
+	f.total++
+	if err == nil {
+		return true
 	}
-	return runs, nil
+	f.failed++
+	if f.first == nil {
+		f.first = err
+	}
+	return false
+}
+
+// error summarizes the batch, or returns nil when every job succeeded.
+func (f *failureSummary) error(what string) error {
+	if f.failed == 0 {
+		return nil
+	}
+	return fmt.Errorf("%s: %d of %d jobs failed (first: %w)", what, f.failed, f.total, f.first)
 }
 
 func key(wl, scheme string, capacity int) string {

@@ -81,8 +81,30 @@ func TestSweepProducesAllRuns(t *testing.T) {
 		t.Fatalf("runs = %d", len(runs))
 	}
 	r := runs[key("bm_ds", "baseline", 2048)]
-	if r.Metrics.Insts == 0 || r.OCStats == nil {
+	if r.Metrics.Insts == 0 || len(r.Snapshot.Samples) == 0 {
 		t.Error("run payload incomplete")
+	}
+	if r.Snapshot.Counter("oc.lookups") == 0 {
+		t.Error("run snapshot missing uop cache activity")
+	}
+}
+
+func TestSweepFeedsSnapshotSink(t *testing.T) {
+	p := tinyParams()
+	var sunk []Run
+	p.SnapshotSink = func(r Run) { sunk = append(sunk, r) }
+	base := Schemes(2)[0]
+	jobs := []job{{"bm_ds", base, 2048}, {"redis", base, 2048}}
+	if _, err := sweep(p, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(sunk) != 2 {
+		t.Fatalf("sink saw %d runs, want 2", len(sunk))
+	}
+	for _, r := range sunk {
+		if len(r.Snapshot.Samples) == 0 {
+			t.Errorf("sink run %s/%s has empty snapshot", r.Workload, r.Scheme)
+		}
 	}
 }
 
@@ -107,6 +129,9 @@ func TestSweepReturnsPartialResults(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "1 of 3 jobs failed") {
 		t.Errorf("error should count failures, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), "not_a_workload") {
+		t.Errorf("error should carry the first underlying failure, got: %v", err)
 	}
 	if len(runs) != 2 {
 		t.Fatalf("partial runs = %d, want 2", len(runs))

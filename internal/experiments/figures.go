@@ -152,12 +152,12 @@ func Fig5(w io.Writer, p Params) error {
 		"workload", "[1-19]B", "[20-39]B", "[40-64]B")
 	var small []float64
 	for _, name := range sortedWorkloads(p) {
-		st := runs[key(name, base.Name, 2048)].OCStats
+		snap := runs[key(name, base.Name, 2048)].Snapshot
 		t.AddRow(name,
-			stats.Pct(st.SizeHist.Fraction(0)),
-			stats.Pct(st.SizeHist.Fraction(1)),
-			stats.Pct(st.SizeHist.Fraction(2)))
-		small = append(small, st.SizeHist.Fraction(0)+st.SizeHist.Fraction(1))
+			stats.Pct(snap.HistFraction("oc.entry.size", 0)),
+			stats.Pct(snap.HistFraction("oc.entry.size", 1)),
+			stats.Pct(snap.HistFraction("oc.entry.size", 2)))
+		small = append(small, snap.HistFraction("oc.entry.size", 0)+snap.HistFraction("oc.entry.size", 1))
 	}
 	fmt.Fprintln(w, t)
 	fmt.Fprintf(w, "entries < 40B: %.1f%% average (paper: 72%%)\n\n", 100*stats.ArithMean(small))
@@ -181,9 +181,9 @@ func Fig6(w io.Writer, p Params) error {
 		"workload", "taken-term")
 	var xs []float64
 	for _, name := range sortedWorkloads(p) {
-		st := runs[key(name, base.Name, 2048)].OCStats
-		t.AddRow(name, stats.Pct(st.TakenTermFraction()))
-		xs = append(xs, st.TakenTermFraction())
+		snap := runs[key(name, base.Name, 2048)].Snapshot
+		t.AddRow(name, stats.Pct(snap.Value("oc.frac.taken_term")))
+		xs = append(xs, snap.Value("oc.frac.taken_term"))
 	}
 	fmt.Fprintln(w, t)
 	fmt.Fprintf(w, "average: %.1f%% (paper: 49.4%%, max 67.17%% for 541.leela_r)\n\n", 100*stats.ArithMean(xs))
@@ -206,9 +206,9 @@ func Fig9(w io.Writer, p Params) error {
 		"workload", "spanning")
 	var xs []float64
 	for _, name := range sortedWorkloads(p) {
-		st := runs[key(name, clasp.Name, 2048)].OCStats
-		t.AddRow(name, stats.Pct(st.SpanFraction()))
-		xs = append(xs, st.SpanFraction())
+		snap := runs[key(name, clasp.Name, 2048)].Snapshot
+		t.AddRow(name, stats.Pct(snap.Value("oc.frac.span")))
+		xs = append(xs, snap.Value("oc.frac.span"))
 	}
 	fmt.Fprintln(w, t)
 	fmt.Fprintf(w, "average: %.1f%% (paper figure shows roughly 10-45%% per workload)\n\n", 100*stats.ArithMean(xs))
@@ -231,10 +231,9 @@ func Fig12(w io.Writer, p Params) error {
 		"workload", "1", "2", "3+")
 	var one, two, three []float64
 	for _, name := range sortedWorkloads(p) {
-		st := runs[key(name, base.Name, 2048)].OCStats
-		d := &st.EntriesPerPW
-		f1 := d.Fraction(1)
-		f2 := d.Fraction(2)
+		snap := runs[key(name, base.Name, 2048)].Snapshot
+		f1 := snap.DistFraction("oc.entries_per_pw", 1)
+		f2 := snap.DistFraction("oc.entries_per_pw", 2)
 		f3 := 1 - f1 - f2
 		if f3 < 0 {
 			f3 = 0
@@ -385,9 +384,9 @@ func Fig18(w io.Writer, p Params) error {
 		"workload", "compacted")
 	var xs []float64
 	for _, name := range sortedWorkloads(p) {
-		st := runs[key(name, fp.Name, 2048)].OCStats
-		t.AddRow(name, stats.Pct(st.CompactedFraction()))
-		xs = append(xs, st.CompactedFraction())
+		snap := runs[key(name, fp.Name, 2048)].Snapshot
+		t.AddRow(name, stats.Pct(snap.Value("oc.frac.compacted")))
+		xs = append(xs, snap.Value("oc.frac.compacted"))
 	}
 	fmt.Fprintln(w, t)
 	fmt.Fprintf(w, "average: %.1f%% (paper: 66.3%%)\n\n", 100*stats.ArithMean(xs))
@@ -410,8 +409,11 @@ func Fig19(w io.Writer, p Params) error {
 		"workload", "RAC", "PWAC", "F-PWAC")
 	var rs, ps, fs []float64
 	for _, name := range sortedWorkloads(p) {
-		st := runs[key(name, fp.Name, 2048)].OCStats
-		r, pw, f := st.AllocDistribution()
+		snap := runs[key(name, fp.Name, 2048)].Snapshot
+		total := snap.Counter("oc.alloc.rac") + snap.Counter("oc.alloc.pwac") + snap.Counter("oc.alloc.fpwac")
+		r := stats.Ratio(snap.Counter("oc.alloc.rac"), total)
+		pw := stats.Ratio(snap.Counter("oc.alloc.pwac"), total)
+		f := stats.Ratio(snap.Counter("oc.alloc.fpwac"), total)
 		t.AddRow(name, stats.Pct(r), stats.Pct(pw), stats.Pct(f))
 		rs = append(rs, r)
 		ps = append(ps, pw)

@@ -82,19 +82,16 @@ func SMT(w io.Writer, p Params) error {
 		close(in)
 	}()
 	byKey := map[string]res{}
-	var firstErr error
+	var fails failureSummary
 	for range works {
 		r := <-out
-		if r.err != nil {
-			if firstErr == nil {
-				firstErr = r.err
-			}
+		if !fails.note(r.err) {
 			continue
 		}
 		byKey[r.workload+"|"+r.scheme] = r
 	}
-	if firstErr != nil {
-		return firstErr
+	if err := fails.error("smt"); err != nil {
+		return err
 	}
 
 	t := stats.NewTable(fmt.Sprintf("SMT (2 threads, shared 2K-uop cache, co-runner %s): thread-A OC fetch ratio and UPC vs RAC", coRunner),

@@ -8,6 +8,7 @@ package fetch
 import (
 	"uopsim/internal/bpred"
 	"uopsim/internal/isa"
+	"uopsim/internal/stats"
 )
 
 // ICLineBytes is the I-cache line size that bounds PWs.
@@ -78,11 +79,21 @@ type Builder struct {
 	pred     *bpred.Predictor
 	instance uint64
 
-	built      uint64
-	takenTerm  uint64
-	lineTerm   uint64
-	ntTermed   uint64
-	specShifts uint64
+	built      stats.Counter
+	takenTerm  stats.Counter
+	lineTerm   stats.Counter
+	ntTermed   stats.Counter
+	specShifts stats.Counter
+}
+
+// RegisterMetrics publishes the PW-builder counters under sc (expected
+// mount point: "bpu.pw").
+func (b *Builder) RegisterMetrics(sc stats.Scope) {
+	sc.RegisterCounter("built", &b.built)
+	sc.RegisterCounter("term.taken", &b.takenTerm)
+	sc.RegisterCounter("term.line", &b.lineTerm)
+	sc.RegisterCounter("term.nt_budget", &b.ntTermed)
+	sc.RegisterCounter("spec_shifts", &b.specShifts)
 }
 
 // NewBuilder creates a PW builder.
@@ -99,7 +110,7 @@ func lineOf(addr uint64) uint64 { return addr &^ uint64(ICLineBytes-1) }
 // path, advancing speculative history/RAS for every predicted branch.
 func (b *Builder) Build(startPC uint64) PW {
 	b.instance++
-	b.built++
+	b.built.Inc()
 	pw := PW{ID: startPC, Instance: b.instance, Start: startPC}
 	line := lineOf(startPC)
 	lineEnd := line + ICLineBytes
@@ -113,7 +124,7 @@ func (b *Builder) Build(startPC uint64) PW {
 			pw.End = lineEnd
 			pw.NextPC = lineEnd
 			pw.Term = TermLineEnd
-			b.lineTerm++
+			b.lineTerm.Inc()
 			return pw
 		}
 		brPC := br.PC(line)
@@ -121,7 +132,7 @@ func (b *Builder) Build(startPC uint64) PW {
 		if br.Kind == isa.BranchCond {
 			p := b.pred.PredictCond(brPC)
 			b.pred.SpecShift(p.Taken)
-			b.specShifts++
+			b.specShifts.Inc()
 			pw.Conds = append(pw.Conds, CondAt{PC: brPC, Pred: p, Taken: p.Taken})
 			if !p.Taken {
 				nt++
@@ -129,7 +140,7 @@ func (b *Builder) Build(startPC uint64) PW {
 					pw.End = fall
 					pw.NextPC = fall
 					pw.Term = TermMaxNT
-					b.ntTermed++
+					b.ntTermed.Inc()
 					return pw
 				}
 				cur = fall
@@ -137,7 +148,7 @@ func (b *Builder) Build(startPC uint64) PW {
 					pw.End = lineEnd
 					pw.NextPC = lineEnd
 					pw.Term = TermLineEnd
-					b.lineTerm++
+					b.lineTerm.Inc()
 					return pw
 				}
 				continue
@@ -150,7 +161,7 @@ func (b *Builder) Build(startPC uint64) PW {
 			pw.TerminalKind = br.Kind
 			pw.NextPC = target
 			pw.Term = TermTaken
-			b.takenTerm++
+			b.takenTerm.Inc()
 			return pw
 		}
 
@@ -160,7 +171,7 @@ func (b *Builder) Build(startPC uint64) PW {
 			b.pred.SpecCall(fall)
 		}
 		b.pred.SpecShift(true)
-		b.specShifts++
+		b.specShifts.Inc()
 		if !ok {
 			target = fall // no target known: fall through and let decode/execute redirect
 		}
@@ -170,7 +181,7 @@ func (b *Builder) Build(startPC uint64) PW {
 		pw.TerminalKind = br.Kind
 		pw.NextPC = target
 		pw.Term = TermTaken
-		b.takenTerm++
+		b.takenTerm.Inc()
 		return pw
 	}
 }
@@ -178,5 +189,5 @@ func (b *Builder) Build(startPC uint64) PW {
 // Stats returns (PWs built, taken-terminated, line-end-terminated,
 // NT-budget-terminated).
 func (b *Builder) Stats() (built, taken, lineEnd, ntBudget uint64) {
-	return b.built, b.takenTerm, b.lineTerm, b.ntTermed
+	return b.built.Value(), b.takenTerm.Value(), b.lineTerm.Value(), b.ntTermed.Value()
 }

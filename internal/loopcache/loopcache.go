@@ -8,6 +8,8 @@
 // common case real loop buffers target.
 package loopcache
 
+import "uopsim/internal/stats"
+
 // Config sizes the loop cache.
 type Config struct {
 	// MaxUops is the buffer capacity; loops with more uops are not captured.
@@ -45,8 +47,16 @@ type LoopCache struct {
 	trainPC    uint64
 	trainCount int
 
-	captures, replToggles uint64
-	uopsServed            uint64
+	captures, replToggles stats.Counter
+	uopsServed            stats.Counter
+}
+
+// RegisterMetrics publishes the loop-cache counters under sc (expected
+// mount point: "lc").
+func (lc *LoopCache) RegisterMetrics(sc stats.Scope) {
+	sc.RegisterCounter("captures", &lc.captures)
+	sc.RegisterCounter("repl_toggles", &lc.replToggles)
+	sc.RegisterCounter("uops_served", &lc.uopsServed)
 }
 
 // New builds a loop cache.
@@ -100,8 +110,8 @@ func (lc *LoopCache) Install(l Loop) bool {
 	cp := l
 	cp.InstIDs = append([]uint32(nil), l.InstIDs...)
 	lc.current = &cp
-	lc.captures++
-	lc.replToggles++
+	lc.captures.Inc()
+	lc.replToggles.Inc()
 	return true
 }
 
@@ -114,7 +124,7 @@ func (lc *LoopCache) Lookup(addr uint64) (*Loop, bool) {
 }
 
 // NoteServed accounts uops supplied by the loop cache.
-func (lc *LoopCache) NoteServed(uops int) { lc.uopsServed += uint64(uops) }
+func (lc *LoopCache) NoteServed(uops int) { lc.uopsServed.Add(uint64(uops)) }
 
 // Evict drops the captured loop (exit churn or SMC invalidation).
 func (lc *LoopCache) Evict() { lc.current = nil }
@@ -130,4 +140,4 @@ func (lc *LoopCache) InvalidateRange(lo, hi uint64) {
 }
 
 // Stats returns (captures, uops served).
-func (lc *LoopCache) Stats() (uint64, uint64) { return lc.captures, lc.uopsServed }
+func (lc *LoopCache) Stats() (uint64, uint64) { return lc.captures.Value(), lc.uopsServed.Value() }

@@ -4,7 +4,10 @@
 // prefetchers cut the miss streaks of sequential code and striding data.
 package mem
 
-import "uopsim/internal/cache"
+import (
+	"uopsim/internal/cache"
+	"uopsim/internal/stats"
+)
 
 // Latencies in core cycles at 3 GHz (Table I: off-chip DRAM 2400 MHz).
 const (
@@ -27,7 +30,25 @@ type Hierarchy struct {
 	// DPrefetch enables next-line data prefetch into L2 on L1D misses.
 	DPrefetch bool
 
-	dramAccesses uint64
+	dramAccesses stats.Counter
+}
+
+// RegisterMetrics publishes per-level hit/miss/eviction gauges and the DRAM
+// access counter under sc (expected mount point: "mem"). The cache levels
+// keep their own plain counters; the registry reads them through closures at
+// snapshot time.
+func (h *Hierarchy) RegisterMetrics(sc stats.Scope) {
+	level := func(name string, c *cache.Cache) {
+		lsc := sc.Scope(name)
+		lsc.RegisterGauge("hits", func() float64 { n, _, _ := c.Stats(); return float64(n) })
+		lsc.RegisterGauge("misses", func() float64 { _, n, _ := c.Stats(); return float64(n) })
+		lsc.RegisterGauge("evictions", func() float64 { _, _, n := c.Stats(); return float64(n) })
+	}
+	level("l1i", h.L1I)
+	level("l1d", h.L1D)
+	level("l2", h.L2)
+	level("l3", h.L3)
+	sc.RegisterCounter("dram.accesses", &h.dramAccesses)
 }
 
 // Config sizes the hierarchy.
@@ -88,7 +109,7 @@ func (h *Hierarchy) instLine(addr uint64) int {
 		lat = LatL3 - LatL1
 		if !h.L3.Lookup(addr) {
 			lat = LatMem - LatL1
-			h.dramAccesses++
+			h.dramAccesses.Inc()
 			h.L3.Fill(addr)
 		}
 		h.L2.Fill(addr)
@@ -110,7 +131,7 @@ func (h *Hierarchy) prefetchInstLine(addr uint64) {
 	// that has the line; a DRAM prefetch also installs into L3/L2.
 	if !h.L2.Probe(addr) {
 		if !h.L3.Probe(addr) {
-			h.dramAccesses++
+			h.dramAccesses.Inc()
 			h.L3.Fill(addr)
 		}
 		h.L2.Fill(addr)
@@ -128,7 +149,7 @@ func (h *Hierarchy) Load(addr uint64) int {
 		lat = LatL3
 		if !h.L3.Lookup(addr) {
 			lat = LatMem
-			h.dramAccesses++
+			h.dramAccesses.Inc()
 			h.L3.Fill(addr)
 		}
 		h.L2.Fill(addr)
@@ -148,7 +169,7 @@ func (h *Hierarchy) Store(addr uint64) {
 	}
 	if !h.L2.Lookup(addr) {
 		if !h.L3.Lookup(addr) {
-			h.dramAccesses++
+			h.dramAccesses.Inc()
 			h.L3.Fill(addr)
 		}
 		h.L2.Fill(addr)
@@ -161,11 +182,11 @@ func (h *Hierarchy) prefetchDataLine(addr uint64) {
 		return
 	}
 	if !h.L3.Probe(addr) {
-		h.dramAccesses++
+		h.dramAccesses.Inc()
 		h.L3.Fill(addr)
 	}
 	h.L2.Fill(addr)
 }
 
 // DRAMAccesses returns the number of DRAM line transfers (stats).
-func (h *Hierarchy) DRAMAccesses() uint64 { return h.dramAccesses }
+func (h *Hierarchy) DRAMAccesses() uint64 { return h.dramAccesses.Value() }

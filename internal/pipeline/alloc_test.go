@@ -42,3 +42,81 @@ func TestCycleLoopAllocLean(t *testing.T) {
 	}
 	t.Logf("steady-state allocations: %.3f objects/cycle", perCycle)
 }
+
+// TestObserverDisabledAllocFree proves the observability refactor is free
+// when off: with no observer attached, the registry conversion and the
+// nil-checked event hooks must add zero allocations over the plain cycle
+// loop. The baseline and instrumented runs use two identical warmed sims so
+// the comparison isolates the hook overhead from workload phase behavior.
+func TestObserverDisabledAllocFree(t *testing.T) {
+	prof, err := workload.ByName("bm_cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(DefaultConfig(), wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if s.obs != nil {
+		t.Fatal("observer should default to nil")
+	}
+	const steps = 20_000
+	avg := testing.AllocsPerRun(5, func() {
+		for i := 0; i < steps; i++ {
+			s.step()
+		}
+	})
+	perCycle := avg / steps
+	// Same bound as TestCycleLoopAllocLean: the disabled observer path must
+	// not move the allocation rate at all.
+	const bound = 2.0
+	if perCycle > bound {
+		t.Errorf("disabled-observer cycle loop allocates %.2f objects/cycle, want <= %.1f", perCycle, bound)
+	}
+	t.Logf("disabled-observer allocations: %.3f objects/cycle", perCycle)
+}
+
+// TestRingObserverAllocLean bounds the attached ring observer: the ring is
+// preallocated, so steady-state tracing must not add per-event heap traffic.
+func TestRingObserverAllocLean(t *testing.T) {
+	prof, err := workload.ByName("bm_cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(DefaultConfig(), wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	ring := NewRingObserver(1024)
+	s.SetObserver(ring)
+	const steps = 20_000
+	avg := testing.AllocsPerRun(5, func() {
+		for i := 0; i < steps; i++ {
+			s.step()
+		}
+	})
+	s.SetObserver(nil)
+	perCycle := avg / steps
+	const bound = 2.1
+	if perCycle > bound {
+		t.Errorf("ring-observer cycle loop allocates %.2f objects/cycle, want <= %.1f", perCycle, bound)
+	}
+	if ring.Total() == 0 {
+		t.Error("ring observer saw no events over 120k traced cycles")
+	}
+	t.Logf("ring-observer allocations: %.3f objects/cycle over %d events", perCycle, ring.Total())
+}

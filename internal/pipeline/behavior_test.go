@@ -34,10 +34,10 @@ func TestColdStartDiscoversBranches(t *testing.T) {
 	if err := sim.Run(5_000); err != nil {
 		t.Fatal(err)
 	}
-	if sim.m.decRedirects == 0 {
+	if sim.m.decRedirects.Value() == 0 {
 		t.Error("cold BTB should trigger decode-time redirects for direct jumps")
 	}
-	if sim.m.mispredicts == 0 {
+	if sim.m.mispredicts.Value() == 0 {
 		t.Error("cold predictors should mispredict somewhere in 5K insts")
 	}
 }
@@ -51,10 +51,10 @@ func TestWrongPathActivityExists(t *testing.T) {
 	if err := sim.Run(50_000); err != nil {
 		t.Fatal(err)
 	}
-	if sim.m.wrongPathDecoded == 0 {
+	if sim.m.wrongPathDecoded.Value() == 0 {
 		t.Error("no wrong-path instructions were decoded despite mispredictions")
 	}
-	if sim.m.dispatchStallWP == 0 {
+	if sim.m.dispatchStallWP.Value() == 0 {
 		t.Error("dispatch never stalled on a wrong-path head")
 	}
 }

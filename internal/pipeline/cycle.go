@@ -7,42 +7,82 @@ import (
 	"uopsim/internal/fetch"
 	"uopsim/internal/isa"
 	"uopsim/internal/loopcache"
+	"uopsim/internal/stats"
 	"uopsim/internal/uopq"
 )
 
 // counters are the pipeline-owned raw observables; Metrics derives the
 // paper's figures from snapshots of these.
 type counters struct {
-	uopsOC, uopsIC, uopsLC uint64
-	insts                  uint64 // correct-path instructions dispatched
-	branches               uint64 // correct-path branches consumed
-	mispredicts            uint64
-	mispLatSum             uint64
-	decRedirects           uint64
-	resyncs                uint64
-	decodedInsts           uint64
-	wrongPathDecoded       uint64
-	dispatchStallWP        uint64 // cycles dispatch stalled on a wrong-path head
+	uopsOC, uopsIC, uopsLC stats.Counter
+	insts                  stats.Counter // correct-path instructions dispatched
+	branches               stats.Counter // correct-path branches consumed
+	mispredicts            stats.Counter
+	mispLatSum             stats.Counter
+	decRedirects           stats.Counter
+	resyncs                stats.Counter
+	decodedInsts           stats.Counter
+	wrongPathDecoded       stats.Counter
+	dispatchStallWP        stats.Counter // cycles dispatch stalled on a wrong-path head
 
 	// Mispredict composition diagnostics.
-	mispCondPredicted uint64 // TAGE got the direction wrong
-	mispCondUnknown   uint64 // BTB-unknown conditional that was taken
-	mispRet           uint64
-	mispIndirect      uint64
-	mispOther         uint64
+	mispCondPredicted stats.Counter // TAGE got the direction wrong
+	mispCondUnknown   stats.Counter // BTB-unknown conditional that was taken
+	mispRet           stats.Counter
+	mispIndirect      stats.Counter
+	mispOther         stats.Counter
 
 	// Dispatch stall composition (first blocked slot per cycle).
-	stallEmptyUQ uint64
-	stallBackend uint64
-	robOccSum    uint64
+	stallEmptyUQ stats.Counter
+	stallBackend stats.Counter
+	robOccSum    stats.Counter
 
 	// Mispredict latency decomposition.
-	mispFetchToDisp uint64
-	mispDispToDone  uint64
+	mispFetchToDisp stats.Counter
+	mispDispToDone  stats.Counter
 
 	// PW absorption diagnostics (entry overshoot swallowing windows).
-	absorbedPWs   uint64
-	absorbedConds uint64
+	absorbedPWs   stats.Counter
+	absorbedConds stats.Counter
+}
+
+// register publishes the pipeline-owned counters under paths grouped by the
+// stage that owns them.
+func (m *counters) register(r *stats.Registry) {
+	disp := r.Scope("dispatch")
+	disp.RegisterCounter("uops.oc", &m.uopsOC)
+	disp.RegisterCounter("uops.ic", &m.uopsIC)
+	disp.RegisterCounter("uops.lc", &m.uopsLC)
+	disp.RegisterCounter("insts", &m.insts)
+	disp.RegisterCounter("stall.wrongpath", &m.dispatchStallWP)
+
+	f := r.Scope("fetch")
+	f.RegisterCounter("branches", &m.branches)
+	f.RegisterCounter("redirects.decode", &m.decRedirects)
+	f.RegisterCounter("resyncs", &m.resyncs)
+	f.RegisterCounter("pw.absorbed", &m.absorbedPWs)
+	f.RegisterCounter("pw.absorbed_conds", &m.absorbedConds)
+
+	bpu := r.Scope("bpu")
+	bpu.RegisterCounter("mispredicts", &m.mispredicts)
+	misp := bpu.Scope("misp")
+	misp.RegisterCounter("latsum", &m.mispLatSum)
+	misp.RegisterCounter("cond_predicted", &m.mispCondPredicted)
+	misp.RegisterCounter("cond_unknown", &m.mispCondUnknown)
+	misp.RegisterCounter("ret", &m.mispRet)
+	misp.RegisterCounter("indirect", &m.mispIndirect)
+	misp.RegisterCounter("other", &m.mispOther)
+	misp.RegisterCounter("lat.fetch_to_disp", &m.mispFetchToDisp)
+	misp.RegisterCounter("lat.disp_to_done", &m.mispDispToDone)
+
+	dec := r.Scope("decode")
+	dec.RegisterCounter("insts", &m.decodedInsts)
+	dec.RegisterCounter("insts.wrongpath", &m.wrongPathDecoded)
+
+	be := r.Scope("backend")
+	be.RegisterCounter("rob.stalls", &m.stallBackend)
+	be.RegisterCounter("rob.occ_sum", &m.robOccSum)
+	r.RegisterCounter("uopq.empty.stalls", &m.stallEmptyUQ)
 }
 
 // step advances the machine one cycle.
@@ -51,10 +91,23 @@ func (s *Sim) step() {
 	s.be.Tick(c)
 	s.be.Commit(c)
 	s.fireExecRedirect(c)
-	s.dispatch(c)
+	nd := s.dispatch(c)
 	s.drain(c)
 	s.fetchStep(c)
 	s.bpuStep(c)
+	if s.obs != nil {
+		if nd > 0 {
+			s.obs.Event(Event{Cycle: c, Kind: EvDispatch, A: int32(nd)})
+		}
+		s.obs.EndCycle(c, Occupancy{
+			PWQueue:  s.pwCount,
+			UopQueue: s.uq.Len(),
+			ROB:      s.be.ROBOccupancy(),
+			OCPipe:   s.ocPipe.Len(),
+			DCPipe:   s.dcPipe.Len(),
+			LCPipe:   s.lcPipe.Len(),
+		})
+	}
 	if !s.orOK && !s.redirectPending {
 		// A finite (replayed) oracle has ended: instructions fetched past
 		// the last record are wrong-path with no misprediction left to
@@ -70,55 +123,58 @@ func (s *Sim) fireExecRedirect(c int64) {
 	if !s.redirectPending || c < s.redirect.fire {
 		return
 	}
-	s.m.mispLatSum += uint64(s.redirect.fire - s.redirect.fetchCycle)
+	s.m.mispLatSum.Add(uint64(s.redirect.fire - s.redirect.fetchCycle))
 	s.flushFrontEnd(c, s.redirect.target, true)
 }
 
-func (s *Sim) dispatch(c int64) {
-	s.m.robOccSum += uint64(s.be.ROBOccupancy())
+// dispatch moves up to DispatchWidth uops from the queue to the back end
+// and returns how many it dispatched.
+func (s *Sim) dispatch(c int64) int {
+	s.m.robOccSum.Add(uint64(s.be.ROBOccupancy()))
 	for n := 0; n < s.cfg.DispatchWidth; n++ {
 		u, ok := s.uq.Peek()
 		if !ok {
 			if n == 0 {
-				s.m.stallEmptyUQ++
+				s.m.stallEmptyUQ.Inc()
 			}
-			return
+			return n
 		}
 		if u.WrongPath {
 			// The back end has nothing architectural to do until the
 			// pending redirect resolves; wrong-path uops are squashed then.
-			s.m.dispatchStallWP++
-			return
+			s.m.dispatchStallWP.Inc()
+			return n
 		}
 		if !s.be.CanDispatch() {
 			if n == 0 {
-				s.m.stallBackend++
+				s.m.stallBackend.Inc()
 			}
-			return
+			return n
 		}
 		s.uq.Pop()
 		done := s.be.Dispatch(c, u)
 		switch u.Source {
 		case uopq.SrcUopCache:
-			s.m.uopsOC++
+			s.m.uopsOC.Inc()
 		case uopq.SrcDecoder:
-			s.m.uopsIC++
+			s.m.uopsIC.Inc()
 		case uopq.SrcLoopCache:
-			s.m.uopsLC++
+			s.m.uopsLC.Inc()
 		}
 		if u.LastOfInst {
-			s.m.insts++
+			s.m.insts.Inc()
 			if u.Mispredicted {
 				if s.redirectPending {
 					panic("pipeline: overlapping mispredict redirects")
 				}
 				s.redirect = pendingRedirect{fire: done + 1, target: u.ActualNext, fetchCycle: u.FetchCycle}
 				s.redirectPending = true
-				s.m.mispFetchToDisp += uint64(c - u.FetchCycle)
-				s.m.mispDispToDone += uint64(done - c)
+				s.m.mispFetchToDisp.Add(uint64(c - u.FetchCycle))
+				s.m.mispDispToDone.Add(uint64(done - c))
 			}
 		}
 	}
+	return s.cfg.DispatchWidth
 }
 
 // drain moves completed items from the three supply pipes into the uop queue
@@ -164,16 +220,16 @@ func (s *Sim) drain(c int64) {
 				s.dcPipe.PopReady(c)
 				popsDC++
 				s.dec.NoteDecode(c, 1, int(it.inst.NumUops))
-				s.m.decodedInsts++
+				s.m.decodedInsts.Inc()
 				if !it.correct {
-					s.m.wrongPathDecoded++
+					s.m.wrongPathDecoded.Inc()
 				}
 				s.ocb.Add(it.inst, it.pwID, it.pwInstance, it.pwEndTaken)
 				s.pushUops(it)
 				s.nextPopSeq = it.seq + 1
 				if it.decRedirect {
 					s.ocb.TerminateTaken()
-					s.m.decRedirects++
+					s.m.decRedirects.Inc()
 					s.flushFrontEnd(c, it.rec.Next, false)
 					return
 				}
@@ -192,7 +248,7 @@ func (s *Sim) popGroup(c int64, g fGroup) bool {
 		s.pushUops(it)
 		s.nextPopSeq = it.seq + 1
 		if it.decRedirect {
-			s.m.decRedirects++
+			s.m.decRedirects.Inc()
 			s.flushFrontEnd(c, it.rec.Next, false)
 			return true
 		}
@@ -229,6 +285,13 @@ func (s *Sim) pushUops(it fItem) {
 // misprediction recovery (uop queue + accumulation buffer discarded) from a
 // decode-time redirect (younger fetch state only).
 func (s *Sim) flushFrontEnd(c int64, target uint64, flushUQ bool) {
+	if s.obs != nil {
+		misp := int32(0)
+		if flushUQ {
+			misp = 1
+		}
+		s.obs.Event(Event{Cycle: c, Kind: EvRedirect, Addr: target, A: misp})
+	}
 	s.ocPipe.Flush()
 	s.dcPipe.Flush()
 	s.lcPipe.Flush()
@@ -284,8 +347,8 @@ func (s *Sim) acquirePW(c int64) bool {
 				return false
 			}
 			if !pw.EndsTaken && s.fetchAddr >= pw.End {
-				s.m.absorbedPWs++
-				s.m.absorbedConds += uint64(len(pw.Conds))
+				s.m.absorbedPWs.Inc()
+				s.m.absorbedConds.Add(uint64(len(pw.Conds)))
 				s.pwPopN(1)
 				continue // window fully absorbed
 			}
@@ -299,10 +362,10 @@ func (s *Sim) acquirePW(c int64) bool {
 		}
 		s.pwFromOC = false
 		if loop, ok := s.lc.Lookup(s.curAddr); ok && s.pwCur.EndsTaken && s.pwCur.TakenPC == loop.BranchPC {
-			s.pwMode = modeLC
+			s.setMode(c, modeLC)
 			s.prepareLC(c, loop)
 		} else {
-			s.pwMode = modeOC
+			s.setMode(c, modeOC)
 		}
 		return true
 	}
@@ -310,7 +373,10 @@ func (s *Sim) acquirePW(c int64) bool {
 }
 
 func (s *Sim) resync(c int64) {
-	s.m.resyncs++
+	s.m.resyncs.Inc()
+	if s.obs != nil {
+		s.obs.Event(Event{Cycle: c, Kind: EvResync, Addr: s.fetchAddr})
+	}
 	s.pwClear()
 	s.pw = nil
 	s.bpuPC = s.fetchAddr
@@ -328,7 +394,7 @@ func (s *Sim) ocStep(c int64) {
 	}
 	entry, hit := s.oc.Lookup(s.curAddr)
 	if !hit {
-		s.pwMode = modeIC
+		s.setMode(c, modeIC)
 		if s.cfg.OCSwitchPenalty > 0 {
 			// Resume fetching OCSwitchPenalty bubble cycles from now.
 			s.fetchStall = c + 1 + int64(s.cfg.OCSwitchPenalty)
@@ -373,7 +439,7 @@ func (s *Sim) ocStep(c int64) {
 	}
 	if len(g.items) == 0 {
 		s.putItems(g.items)
-		s.pwMode = modeIC
+		s.setMode(c, modeIC)
 		return
 	}
 	s.ocPipe.Push(c, g)
@@ -463,7 +529,7 @@ func (s *Sim) lcStep(c int64) {
 	}
 	if len(g.items) == 0 {
 		s.putItems(g.items)
-		s.pwMode = modeOC // defensive: empty loop body
+		s.setMode(c, modeOC) // defensive: empty loop body
 		return
 	}
 	s.lc.NoteServed(g.uops)
@@ -523,6 +589,13 @@ func (s *Sim) bpuStep(c int64) {
 	}
 	s.hier.PrefetchInst(pw.Start)
 	s.pwPush(pw)
+	if s.obs != nil {
+		taken := int32(0)
+		if pw.EndsTaken {
+			taken = 1
+		}
+		s.obs.Event(Event{Cycle: c, Kind: EvWindowEnqueued, Addr: pw.Start, A: int32(len(pw.Conds)), B: taken})
+	}
 	s.bpuPC = pw.NextPC
 }
 
@@ -595,7 +668,7 @@ func (s *Sim) consumeCorrect(it *fItem, predicted bool, condPred bpred.Pred) {
 	if !in.IsBranch() {
 		return
 	}
-	s.m.branches++
+	s.m.branches.Inc()
 	rec := it.rec
 
 	switch in.Branch {
@@ -642,20 +715,20 @@ func (s *Sim) consumeCorrect(it *fItem, predicted bool, condPred bpred.Pred) {
 			it.decRedirect = true
 		} else {
 			it.misp = true
-			s.m.mispredicts++
+			s.m.mispredicts.Inc()
 			switch {
 			case in.Branch == isa.BranchCond && predicted:
-				s.m.mispCondPredicted++
+				s.m.mispCondPredicted.Inc()
 			case in.Branch == isa.BranchCond:
-				s.m.mispCondUnknown++
+				s.m.mispCondUnknown.Inc()
 			case in.Branch == isa.BranchRet:
-				s.m.mispRet++
+				s.m.mispRet.Inc()
 				s.pred.NoteTargetMiss()
 			case in.Branch.IsIndirect():
-				s.m.mispIndirect++
+				s.m.mispIndirect.Inc()
 				s.pred.NoteTargetMiss()
 			default:
-				s.m.mispOther++
+				s.m.mispOther.Inc()
 				s.pred.NoteTargetMiss()
 			}
 		}
@@ -667,14 +740,14 @@ func (s *Sim) consumeCorrect(it *fItem, predicted bool, condPred bpred.Pred) {
 // finite (replayed) oracle, Run stops early once the trace is exhausted and
 // the machine has drained.
 func (s *Sim) Run(n uint64) error {
-	target := s.m.insts + n
+	target := s.m.insts.Value() + n
 	bound := s.cycle + int64(n)*200 + 1_000_000
-	for s.m.insts < target {
+	for s.m.insts.Value() < target {
 		if !s.orOK && s.drained() {
 			return nil
 		}
 		if s.cycle > bound {
-			return fmt.Errorf("pipeline: exceeded cycle bound at %d insts of %d (livelock?)", s.m.insts, target)
+			return fmt.Errorf("pipeline: exceeded cycle bound at %d insts of %d (livelock?)", s.m.insts.Value(), target)
 		}
 		s.step()
 	}

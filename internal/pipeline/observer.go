@@ -1,0 +1,193 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+
+	"uopsim/internal/stats"
+)
+
+// EventKind identifies a front-end pipeline event.
+type EventKind uint8
+
+const (
+	// EvWindowEnqueued fires when the BPU pushes a prediction window. Addr
+	// is the window start; A is the number of predicted conditionals inside;
+	// B is 1 when the window ends in a predicted taken branch.
+	EvWindowEnqueued EventKind = iota
+	// EvPathSwitch fires when the active supply path changes for the
+	// current window. A is the old fetchMode, B the new one.
+	EvPathSwitch
+	// EvFill fires when an accumulated entry is written into the uop cache.
+	// Addr is the entry start; A is its uop count.
+	EvFill
+	// EvRedirect fires on a front-end flush. Addr is the redirect target; A
+	// is 1 for a misprediction recovery, 0 for a decode-time redirect.
+	EvRedirect
+	// EvResync fires when uop cache entry overshoot re-steers the BPU.
+	EvResync
+	// EvDispatch fires once per cycle that dispatched uops to the back end;
+	// A is the uop count.
+	EvDispatch
+)
+
+var eventNames = [...]string{"pw_enqueued", "path_switch", "fill", "redirect", "resync", "dispatch"}
+
+// String names the event kind.
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return "event?"
+}
+
+// Event is one cycle-stamped pipeline event. The A/B operands are
+// kind-specific (see the EventKind docs).
+type Event struct {
+	Cycle int64
+	Kind  EventKind
+	Addr  uint64
+	A, B  int32
+}
+
+// String renders the event for dumps.
+func (e Event) String() string {
+	return fmt.Sprintf("c%d %s addr=%#x a=%d b=%d", e.Cycle, e.Kind, e.Addr, e.A, e.B)
+}
+
+// Occupancy is the per-cycle fill of each pipeline buffer.
+type Occupancy struct {
+	PWQueue  int
+	UopQueue int
+	ROB      int
+	OCPipe   int
+	DCPipe   int
+	LCPipe   int
+}
+
+// Observer receives pipeline events and end-of-cycle occupancy. A nil
+// observer (the default) costs one pointer compare per emission site; Sim
+// never calls a nil observer.
+type Observer interface {
+	// Event delivers one pipeline event.
+	Event(Event)
+	// EndCycle delivers buffer occupancy after the cycle's work.
+	EndCycle(cycle int64, occ Occupancy)
+}
+
+// SetObserver attaches obs (nil detaches). Attach before Run; the observer
+// is called from the simulation goroutine.
+func (s *Sim) SetObserver(obs Observer) { s.obs = obs }
+
+// RingObserver keeps the last N events in a preallocated ring for post-hoc
+// stall debugging, plus the most recent occupancy.
+type RingObserver struct {
+	buf     []Event
+	next    int
+	total   uint64
+	lastOcc Occupancy
+	lastC   int64
+}
+
+// NewRingObserver builds a ring holding the last n events.
+func NewRingObserver(n int) *RingObserver {
+	if n < 1 {
+		n = 1
+	}
+	return &RingObserver{buf: make([]Event, 0, n)}
+}
+
+// Event implements Observer.
+func (r *RingObserver) Event(e Event) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+}
+
+// EndCycle implements Observer.
+func (r *RingObserver) EndCycle(cycle int64, occ Occupancy) {
+	r.lastC = cycle
+	r.lastOcc = occ
+}
+
+// Total returns how many events were observed (including overwritten ones).
+func (r *RingObserver) Total() uint64 { return r.total }
+
+// Events returns the retained events, oldest first.
+func (r *RingObserver) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dump writes the retained events and final occupancy to w.
+func (r *RingObserver) Dump(w io.Writer) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "c%d occ pwq=%d uq=%d rob=%d ocpipe=%d dcpipe=%d lcpipe=%d (%d events total)\n",
+		r.lastC, r.lastOcc.PWQueue, r.lastOcc.UopQueue, r.lastOcc.ROB,
+		r.lastOcc.OCPipe, r.lastOcc.DCPipe, r.lastOcc.LCPipe, r.total)
+	return err
+}
+
+// OccupancyObserver feeds per-stage occupancy histograms and per-kind event
+// counters into a registry (mount point "trace"), turning the tracer into
+// queue-pressure metrics.
+type OccupancyObserver struct {
+	pwq, uq, rob *stats.Histogram
+	events       [len(eventNames)]stats.Counter
+}
+
+// NewOccupancyObserver builds the observer and registers its instruments
+// under sc. Histogram buckets are derived from the configured capacities.
+func NewOccupancyObserver(sc stats.Scope, cfg Config) *OccupancyObserver {
+	o := &OccupancyObserver{
+		pwq: stats.NewHistogram(occBounds(cfg.PWQueueSize)...),
+		uq:  stats.NewHistogram(occBounds(cfg.UopQueueSize)...),
+		rob: stats.NewHistogram(occBounds(cfg.Backend.ROBSize)...),
+	}
+	occ := sc.Scope("occ")
+	occ.RegisterHist("pwq", o.pwq)
+	occ.RegisterHist("uopq", o.uq)
+	occ.RegisterHist("rob", o.rob)
+	ev := sc.Scope("events")
+	for i := range o.events {
+		ev.RegisterCounter(EventKind(i).String(), &o.events[i])
+	}
+	return o
+}
+
+// occBounds splits [0, capacity] into quarter-capacity buckets (0 kept
+// separate: an empty queue is the interesting stall signal).
+func occBounds(capacity int) []int {
+	if capacity < 4 {
+		capacity = 4
+	}
+	q := capacity / 4
+	return []int{0, q, 2 * q, 3 * q, capacity}
+}
+
+// Event implements Observer.
+func (o *OccupancyObserver) Event(e Event) {
+	if int(e.Kind) < len(o.events) {
+		o.events[e.Kind].Inc()
+	}
+}
+
+// EndCycle implements Observer.
+func (o *OccupancyObserver) EndCycle(cycle int64, occ Occupancy) {
+	o.pwq.Observe(occ.PWQueue)
+	o.uq.Observe(occ.UopQueue)
+	o.rob.Observe(occ.ROB)
+}

@@ -1,0 +1,142 @@
+package pipeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"uopsim/internal/workload"
+)
+
+func newTestSim(t *testing.T) *Sim {
+	t.Helper()
+	prof, err := workload.ByName("bm_cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(DefaultConfig(), wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRingObserverSeesPipelineEvents drives a real workload and checks the
+// tracer captures each stage's events with sane payloads.
+func TestRingObserverSeesPipelineEvents(t *testing.T) {
+	s := newTestSim(t)
+	ring := NewRingObserver(1 << 16)
+	s.SetObserver(ring)
+	if err := s.Run(30_000); err != nil {
+		t.Fatal(err)
+	}
+
+	var seen [len(eventNames)]int
+	for _, e := range ring.Events() {
+		seen[e.Kind]++
+		switch e.Kind {
+		case EvDispatch:
+			if e.A < 1 || e.A > int32(s.cfg.DispatchWidth) {
+				t.Fatalf("dispatch event outside width: %v", e)
+			}
+		case EvFill:
+			if e.Addr == 0 || e.A < 1 {
+				t.Fatalf("fill event without entry shape: %v", e)
+			}
+		case EvPathSwitch:
+			if e.A == e.B {
+				t.Fatalf("path switch to same mode: %v", e)
+			}
+		}
+	}
+	for _, kind := range []EventKind{EvWindowEnqueued, EvPathSwitch, EvFill, EvRedirect, EvDispatch} {
+		if seen[kind] == 0 {
+			t.Errorf("no %v events observed over 30k instructions", kind)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := ring.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "events total") {
+		t.Errorf("dump missing trailer:\n%s", buf.String())
+	}
+}
+
+// TestRingObserverWraps checks ring semantics: retention is capped and
+// ordered oldest-first.
+func TestRingObserverWraps(t *testing.T) {
+	ring := NewRingObserver(4)
+	for i := 0; i < 10; i++ {
+		ring.Event(Event{Cycle: int64(i)})
+	}
+	ev := ring.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := int64(6 + i); e.Cycle != want {
+			t.Errorf("event[%d].Cycle = %d, want %d", i, e.Cycle, want)
+		}
+	}
+	if ring.Total() != 10 {
+		t.Errorf("Total = %d, want 10", ring.Total())
+	}
+}
+
+// TestOccupancyObserverFeedsRegistry attaches the occupancy tracer to the
+// Sim's own registry and checks its histograms and event counters land in
+// snapshots.
+func TestOccupancyObserverFeedsRegistry(t *testing.T) {
+	s := newTestSim(t)
+	occ := NewOccupancyObserver(s.Registry().Scope("trace"), s.cfg)
+	s.SetObserver(occ)
+	if err := s.Run(30_000); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.StatsSnapshot()
+	for _, path := range []string{"trace.occ.pwq", "trace.occ.uopq", "trace.occ.rob"} {
+		sm, ok := snap.Sample(path)
+		if !ok {
+			t.Fatalf("%s missing from snapshot", path)
+		}
+		if sm.Count == 0 {
+			t.Errorf("%s observed no cycles", path)
+		}
+		if sm.Count != uint64(s.Cycle()) {
+			t.Errorf("%s observed %d cycles, want %d (one sample per cycle)", path, sm.Count, s.Cycle())
+		}
+	}
+	if snap.Counter("trace.events.dispatch") == 0 {
+		t.Error("trace.events.dispatch stayed zero")
+	}
+	if snap.Counter("trace.events.pw_enqueued") == 0 {
+		t.Error("trace.events.pw_enqueued stayed zero")
+	}
+}
+
+// TestObserverMatchesUnobservedRun pins the "observability is free" claim in
+// behavior, not just allocations: the same workload run with and without a
+// tracer must produce bit-identical metrics.
+func TestObserverMatchesUnobservedRun(t *testing.T) {
+	plain := newTestSim(t)
+	traced := newTestSim(t)
+	traced.SetObserver(NewRingObserver(256))
+
+	mp, err := plain.RunMeasured(5_000, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := traced.RunMeasured(5_000, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp != mt {
+		t.Errorf("tracing changed the simulation:\nplain  %v\ntraced %v", mp, mt)
+	}
+}

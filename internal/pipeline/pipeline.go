@@ -19,6 +19,7 @@ import (
 	"uopsim/internal/mem"
 	"uopsim/internal/power"
 	"uopsim/internal/program"
+	"uopsim/internal/stats"
 	"uopsim/internal/trace"
 	"uopsim/internal/uopcache"
 	"uopsim/internal/uopq"
@@ -199,7 +200,18 @@ type Sim struct {
 	// observed sequence must equal the architectural walker's stream).
 	OnConsume func(trace.Rec)
 
-	m counters
+	m   counters
+	reg *stats.Registry
+	obs Observer
+}
+
+// setMode switches the current window's supply path, announcing the switch
+// to an attached observer.
+func (s *Sim) setMode(c int64, m fetchMode) {
+	if s.obs != nil && m != s.pwMode {
+		s.obs.Event(Event{Cycle: c, Kind: EvPathSwitch, A: int32(s.pwMode), B: int32(m)})
+	}
+	s.pwMode = m
 }
 
 type fetchMode uint8
@@ -265,7 +277,13 @@ func newSim(cfg Config, wl *workload.Workload, oracle trace.Stream, ocCache *uop
 		pwQ:    make([]fetch.PW, maxInt(cfg.PWQueueSize, 1)),
 	}
 	s.pwb = fetch.NewBuilder(cfg.Fetch, s.pred)
-	s.ocb = uopcache.NewBuilder(cfg.Limits, s.oc.Stats, func(e *uopcache.Entry) { s.oc.Fill(e) })
+	s.ocb = uopcache.NewBuilder(cfg.Limits, s.oc.Stats, func(e *uopcache.Entry) {
+		s.oc.Fill(e)
+		if s.obs != nil {
+			s.obs.Event(Event{Cycle: s.cycle, Kind: EvFill, Addr: e.Start, A: int32(e.NumUops)})
+		}
+	})
+	s.registerMetrics()
 
 	s.advanceOracle()
 	entry := s.prog.Entry
@@ -279,6 +297,34 @@ func (s *Sim) advanceOracle() {
 	s.orHead, s.orOK = s.oracle.Next()
 }
 
+// registerMetrics mounts every component's instruments into the Sim's
+// registry. All registration happens here, once, at construction; the hot
+// path keeps touching the same plain-value instruments directly.
+func (s *Sim) registerMetrics() {
+	s.reg = stats.NewRegistry()
+	s.reg.RegisterGauge("pipeline.cycle", func() float64 { return float64(s.cycle) })
+	s.m.register(s.reg)
+	s.oc.Stats.Register(s.reg.Scope("oc"))
+	s.pred.RegisterMetrics(s.reg.Scope("bpu"))
+	s.pwb.RegisterMetrics(s.reg.Scope("bpu.pw"))
+	s.lc.RegisterMetrics(s.reg.Scope("lc"))
+	s.hier.RegisterMetrics(s.reg.Scope("mem"))
+	s.uq.RegisterMetrics(s.reg.Scope("uopq"))
+	s.be.RegisterMetrics(s.reg.Scope("backend"))
+	s.dec.RegisterMetrics(s.reg.Scope("power.decoder"))
+	pipes := s.reg.Scope("decode.pipe")
+	s.ocPipe.RegisterMetrics(pipes.Scope("oc"))
+	s.dcPipe.RegisterMetrics(pipes.Scope("dc"))
+	s.lcPipe.RegisterMetrics(pipes.Scope("lc"))
+}
+
+// Registry exposes the Sim's metrics registry (custom instruments, e.g. the
+// occupancy observer, register here; exporters snapshot it).
+func (s *Sim) Registry() *stats.Registry { return s.reg }
+
+// StatsSnapshot reads every registered instrument.
+func (s *Sim) StatsSnapshot() stats.Snapshot { return s.reg.Snapshot() }
+
 // Cycle returns the current cycle.
 func (s *Sim) Cycle() int64 { return s.cycle }
 
@@ -287,7 +333,7 @@ func (s *Sim) Cycle() int64 { return s.cycle }
 func (s *Sim) Step() { s.step() }
 
 // Insts returns the number of correct-path instructions dispatched so far.
-func (s *Sim) Insts() uint64 { return s.m.insts }
+func (s *Sim) Insts() uint64 { return s.m.insts.Value() }
 
 // UopCacheStats exposes the uop cache observables.
 func (s *Sim) UopCacheStats() *uopcache.Stats { return s.oc.Stats }

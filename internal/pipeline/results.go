@@ -27,27 +27,41 @@ type Snapshot struct {
 	OCFills       uint64
 }
 
-// Snapshot captures the current observables.
+// Snapshot captures the current observables via the metrics registry.
 func (s *Sim) Snapshot() Snapshot {
-	st := s.oc.Stats
+	return SnapshotFromStats(s.reg.Snapshot())
+}
+
+// SnapshotFromStats rebuilds the metrics-facing observable set from a
+// registry snapshot. Counter samples carry their exact uint64 counts and the
+// gauge floats are the same float64 values the components compute, so
+// metrics derived through here are bit-identical to reading the instruments
+// directly.
+func SnapshotFromStats(st stats.Snapshot) Snapshot {
 	return Snapshot{
-		Cycle:         s.cycle,
-		RetiredUops:   s.be.RetiredUops(),
-		UopsOC:        s.m.uopsOC,
-		UopsIC:        s.m.uopsIC,
-		UopsLC:        s.m.uopsLC,
-		Insts:         s.m.insts,
-		Branches:      s.m.branches,
-		Mispredicts:   s.m.mispredicts,
-		MispLatSum:    s.m.mispLatSum,
-		DecRedirects:  s.m.decRedirects,
-		Resyncs:       s.m.resyncs,
-		DecodedInsts:  s.m.decodedInsts,
-		DecoderEnergy: s.dec.Energy(),
-		OCLookups:     st.Lookups.Value(),
-		OCHits:        st.Hits.Value(),
-		OCFills:       st.Fills.Value(),
+		Cycle:         int64(st.Value("pipeline.cycle")),
+		RetiredUops:   st.Counter("backend.uops.retired"),
+		UopsOC:        st.Counter("dispatch.uops.oc"),
+		UopsIC:        st.Counter("dispatch.uops.ic"),
+		UopsLC:        st.Counter("dispatch.uops.lc"),
+		Insts:         st.Counter("dispatch.insts"),
+		Branches:      st.Counter("fetch.branches"),
+		Mispredicts:   st.Counter("bpu.mispredicts"),
+		MispLatSum:    st.Counter("bpu.misp.latsum"),
+		DecRedirects:  st.Counter("fetch.redirects.decode"),
+		Resyncs:       st.Counter("fetch.resyncs"),
+		DecodedInsts:  st.Counter("decode.insts"),
+		DecoderEnergy: st.Value("power.decoder.energy"),
+		OCLookups:     st.Counter("oc.lookups"),
+		OCHits:        st.Counter("oc.hits"),
+		OCFills:       st.Counter("oc.fills"),
 	}
+}
+
+// MetricsFromStats derives interval metrics from two registry snapshots; it
+// is MetricsBetween composed with SnapshotFromStats.
+func MetricsFromStats(a, b stats.Snapshot) Metrics {
+	return MetricsBetween(SnapshotFromStats(a), SnapshotFromStats(b))
 }
 
 // Metrics are the derived, paper-facing measurements over an interval.

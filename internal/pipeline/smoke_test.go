@@ -34,10 +34,10 @@ func TestSmokeRun(t *testing.T) {
 		st.HitRate(), st.TakenTermFraction(), st.SpanFraction(), st.CompactedFraction(), r, p, f,
 		st.SizeHist.Fraction(0), st.SizeHist.Fraction(1), st.SizeHist.Fraction(2))
 	t.Logf("misp: condPred=%d condUnk=%d ret=%d ind=%d other=%d; condAcc=%.4f",
-		sim.m.mispCondPredicted, sim.m.mispCondUnknown, sim.m.mispRet, sim.m.mispIndirect, sim.m.mispOther,
+		sim.m.mispCondPredicted.Value(), sim.m.mispCondUnknown.Value(), sim.m.mispRet.Value(), sim.m.mispIndirect.Value(), sim.m.mispOther.Value(),
 		sim.pred.CondAccuracy())
 	t.Logf("stalls: emptyUQ=%d backend=%d wrongPath=%d avgROB=%.1f cycles=%d",
-		sim.m.stallEmptyUQ, sim.m.stallBackend, sim.m.dispatchStallWP, float64(sim.m.robOccSum)/float64(sim.cycle), sim.cycle)
+		sim.m.stallEmptyUQ.Value(), sim.m.stallBackend.Value(), sim.m.dispatchStallWP.Value(), float64(sim.m.robOccSum.Value())/float64(sim.cycle), sim.cycle)
 	if m.UPC <= 0 {
 		t.Fatalf("UPC = %v, want > 0", m.UPC)
 	}
@@ -56,9 +56,9 @@ func TestMispLatencyBreakdown(t *testing.T) {
 	if _, err := sim.RunMeasured(20_000, 100_000); err != nil {
 		t.Fatal(err)
 	}
-	n := sim.m.mispredicts
+	n := sim.m.mispredicts.Value()
 	t.Logf("misp=%d fetch->disp=%.1f disp->done=%.1f", n,
-		float64(sim.m.mispFetchToDisp)/float64(n), float64(sim.m.mispDispToDone)/float64(n))
+		float64(sim.m.mispFetchToDisp.Value())/float64(n), float64(sim.m.mispDispToDone.Value())/float64(n))
 }
 
 func TestAbsorptionDiag(t *testing.T) {
@@ -72,7 +72,7 @@ func TestAbsorptionDiag(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("absorbedPWs=%d absorbedConds=%d branches=%d condAcc=%.4f",
-		sim.m.absorbedPWs, sim.m.absorbedConds, sim.m.branches, sim.pred.CondAccuracy())
+		sim.m.absorbedPWs.Value(), sim.m.absorbedConds.Value(), sim.m.branches.Value(), sim.pred.CondAccuracy())
 }
 
 func TestStalenessEffect(t *testing.T) {
@@ -88,7 +88,7 @@ func TestStalenessEffect(t *testing.T) {
 		if _, err := sim.RunMeasured(20_000, 100_000); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("pwq=%d condAcc=%.4f mispredicts=%d", q, sim.pred.CondAccuracy(), sim.m.mispredicts)
+		t.Logf("pwq=%d condAcc=%.4f mispredicts=%d", q, sim.pred.CondAccuracy(), sim.m.mispredicts.Value())
 	}
 }
 
@@ -131,10 +131,10 @@ func TestMispLatencyMemSensitivity(t *testing.T) {
 		if _, err := sim.RunMeasured(20_000, 100_000); err != nil {
 			t.Fatal(err)
 		}
-		n := sim.m.mispredicts
+		n := sim.m.mispredicts.Value()
 		t.Logf("bigL1D=%v misp=%d f->d=%.1f d->done=%.1f UPC-ish avgROB=%.0f stalls: uq=%d be=%d wp=%d",
-			big, n, float64(sim.m.mispFetchToDisp)/float64(n), float64(sim.m.mispDispToDone)/float64(n),
-			float64(sim.m.robOccSum)/float64(sim.cycle), sim.m.stallEmptyUQ, sim.m.stallBackend, sim.m.dispatchStallWP)
+			big, n, float64(sim.m.mispFetchToDisp.Value())/float64(n), float64(sim.m.mispDispToDone.Value())/float64(n),
+			float64(sim.m.robOccSum.Value())/float64(sim.cycle), sim.m.stallEmptyUQ.Value(), sim.m.stallBackend.Value(), sim.m.dispatchStallWP.Value())
 	}
 }
 
@@ -205,7 +205,7 @@ func TestSchemeComparisonQuick(t *testing.T) {
 			st.TakenTermFraction(), st.SpanFraction(), st.CompactedFraction(), r, p, f,
 			st.SizeHist.Fraction(0), st.SizeHist.Fraction(1), st.SizeHist.Fraction(2), sim.UopCache().Utilization())
 		t.Logf("         misp=%d resync=%d decRedir=%d stalls: uq=%d be=%d wp=%d absorbed=%d",
-			m.Mispredicts, sim.m.resyncs, m.DecRedirects, sim.m.stallEmptyUQ, sim.m.stallBackend, sim.m.dispatchStallWP, sim.m.absorbedPWs)
+			m.Mispredicts, sim.m.resyncs.Value(), m.DecRedirects, sim.m.stallEmptyUQ.Value(), sim.m.stallBackend.Value(), sim.m.dispatchStallWP.Value(), sim.m.absorbedPWs.Value())
 	}
 }
 
@@ -232,8 +232,8 @@ func TestPipelineMPKIReport(t *testing.T) {
 			t.Fatal(err)
 		}
 		t.Logf("%-12s MPKI=%6.2f (target %5.2f) [condPred=%d condUnk=%d ret=%d ind=%d] ratio=%.3f UPC=%.3f mispLat=%.1f",
-			name, m.BranchMPKI, targets[name], sim.m.mispCondPredicted, sim.m.mispCondUnknown,
-			sim.m.mispRet, sim.m.mispIndirect, m.OCFetchRatio, m.UPC, m.AvgMispLatency)
+			name, m.BranchMPKI, targets[name], sim.m.mispCondPredicted.Value(), sim.m.mispCondUnknown.Value(),
+			sim.m.mispRet.Value(), sim.m.mispIndirect.Value(), m.OCFetchRatio, m.UPC, m.AvgMispLatency)
 	}
 }
 
@@ -257,7 +257,7 @@ func TestCondAccuracyGap(t *testing.T) {
 	}
 	dirMiss, tgtMiss := sim.pred.Mispredicts()
 	t.Logf("pipeline condAcc=%.4f (offline best-case ~0.940); dirMiss=%d tgtMiss=%d branches=%d",
-		sim.pred.CondAccuracy(), dirMiss, tgtMiss, sim.m.branches)
+		sim.pred.CondAccuracy(), dirMiss, tgtMiss, sim.m.branches.Value())
 }
 
 func TestCondAccuracyVsRunahead(t *testing.T) {

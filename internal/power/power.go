@@ -6,6 +6,8 @@
 // decoder power normalized to a baseline run, which cancels the unit.
 package power
 
+import "uopsim/internal/stats"
+
 // DecoderModel accumulates decoder energy over a run.
 type DecoderModel struct {
 	// EnergyPerInst is the dynamic energy of identifying+decoding one
@@ -42,6 +44,16 @@ func DefaultDecoderModel() *DecoderModel {
 		GateHysteresis: 12,
 		lastUse:        -1,
 	}
+}
+
+// RegisterMetrics publishes the decoder-energy observables under sc
+// (expected mount point: "power.decoder"). Everything is derived state, so
+// all instruments are snapshot-time gauges.
+func (m *DecoderModel) RegisterMetrics(sc stats.Scope) {
+	sc.RegisterGauge("energy", m.Energy)
+	sc.RegisterGauge("active_cycles", func() float64 { return float64(m.activeCycles) })
+	sc.RegisterGauge("insts", func() float64 { return float64(m.instsDecoded) })
+	sc.RegisterGauge("uops", func() float64 { return float64(m.uopsEmitted) })
 }
 
 // NoteDecode records the decode of insts instructions producing uops at the

@@ -1,0 +1,377 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind identifies the instrument type behind a registered path.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically increasing uint64 count.
+	KindCounter Kind = iota
+	// KindGauge is a point-in-time float64 read through a function.
+	KindGauge
+	// KindMean is a running mean with a sample count.
+	KindMean
+	// KindHist is a bucketed histogram.
+	KindHist
+	// KindDist is an exact small-integer-key distribution.
+	KindDist
+)
+
+var kindNames = [...]string{"counter", "gauge", "mean", "hist", "dist"}
+
+// String names the kind ("counter", "gauge", "mean", "hist", "dist").
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// Hist is the registry-facing name of the bucketed histogram instrument.
+type Hist = Histogram
+
+// instrument binds one dotted path to one live instrument. Exactly one of
+// the typed pointers is set, selected by kind.
+type instrument struct {
+	path    string
+	kind    Kind
+	counter *Counter
+	mean    *Mean
+	hist    *Histogram
+	dist    *Distribution
+	gauge   func() float64
+}
+
+// Registry is a hierarchical collection of named instruments. Components
+// register their instruments once at construction under dotted paths
+// ("oc.hits", "bpu.tage.mispredicts"); the hot path keeps incrementing the
+// same plain-value instruments directly, so observability adds no locks and
+// no indirection to the cycle loop. Snapshot reads every instrument into a
+// stable-ordered value that the JSON and Prometheus exporters serialize.
+//
+// A Registry is not safe for concurrent registration or snapshotting; each
+// simulator owns one and touches it from its own goroutine only.
+type Registry struct {
+	byPath map[string]*instrument
+	insts  []*instrument
+	sorted bool
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byPath: make(map[string]*instrument)}
+}
+
+func (r *Registry) add(in *instrument) {
+	if in.path == "" {
+		panic("stats: empty metric path")
+	}
+	if _, dup := r.byPath[in.path]; dup {
+		panic(fmt.Sprintf("stats: duplicate metric path %q", in.path))
+	}
+	r.byPath[in.path] = in
+	r.insts = append(r.insts, in)
+	r.sorted = false
+}
+
+// Counter registers a new counter at path and returns it.
+func (r *Registry) Counter(path string) *Counter {
+	c := &Counter{}
+	r.RegisterCounter(path, c)
+	return c
+}
+
+// RegisterCounter registers an existing counter at path. Components that
+// embed plain-value counters register pointers to them so the hot path needs
+// no registry involvement.
+func (r *Registry) RegisterCounter(path string, c *Counter) {
+	r.add(&instrument{path: path, kind: KindCounter, counter: c})
+}
+
+// RegisterGauge registers a derived value read through fn at snapshot time.
+func (r *Registry) RegisterGauge(path string, fn func() float64) {
+	r.add(&instrument{path: path, kind: KindGauge, gauge: fn})
+}
+
+// RegisterMean registers an existing running mean at path.
+func (r *Registry) RegisterMean(path string, m *Mean) {
+	r.add(&instrument{path: path, kind: KindMean, mean: m})
+}
+
+// RegisterHist registers an existing histogram at path.
+func (r *Registry) RegisterHist(path string, h *Histogram) {
+	r.add(&instrument{path: path, kind: KindHist, hist: h})
+}
+
+// RegisterDist registers an existing distribution at path.
+func (r *Registry) RegisterDist(path string, d *Distribution) {
+	r.add(&instrument{path: path, kind: KindDist, dist: d})
+}
+
+// CounterValue returns the live value of the counter at path. It panics when
+// the path is unregistered or not a counter: lookups are internal wiring, so
+// a miss is a programming error, not a runtime condition.
+func (r *Registry) CounterValue(path string) uint64 {
+	in := r.byPath[path]
+	if in == nil || in.kind != KindCounter {
+		panic(fmt.Sprintf("stats: %q is not a registered counter", path))
+	}
+	return in.counter.Value()
+}
+
+// GaugeValue returns the live value of the gauge at path (same panic
+// contract as CounterValue).
+func (r *Registry) GaugeValue(path string) float64 {
+	in := r.byPath[path]
+	if in == nil || in.kind != KindGauge {
+		panic(fmt.Sprintf("stats: %q is not a registered gauge", path))
+	}
+	return in.gauge()
+}
+
+// Scope returns a registration view that prefixes every path with
+// "prefix.". Scopes nest, giving components dotted sub-trees without
+// knowing where they are mounted.
+func (r *Registry) Scope(prefix string) Scope {
+	return Scope{r: r}.Scope(prefix)
+}
+
+// Scope is a prefixed registration view of a Registry.
+type Scope struct {
+	r      *Registry
+	prefix string
+}
+
+// Scope nests: sc.Scope("tage") registers under "<prefix>.tage.".
+func (s Scope) Scope(prefix string) Scope {
+	if prefix == "" {
+		return s
+	}
+	return Scope{r: s.r, prefix: s.prefix + prefix + "."}
+}
+
+// Counter registers a new counter under the scope and returns it.
+func (s Scope) Counter(path string) *Counter { return s.r.Counter(s.prefix + path) }
+
+// RegisterCounter registers an existing counter under the scope.
+func (s Scope) RegisterCounter(path string, c *Counter) { s.r.RegisterCounter(s.prefix+path, c) }
+
+// RegisterGauge registers a derived value under the scope.
+func (s Scope) RegisterGauge(path string, fn func() float64) { s.r.RegisterGauge(s.prefix+path, fn) }
+
+// RegisterMean registers an existing mean under the scope.
+func (s Scope) RegisterMean(path string, m *Mean) { s.r.RegisterMean(s.prefix+path, m) }
+
+// RegisterHist registers an existing histogram under the scope.
+func (s Scope) RegisterHist(path string, h *Histogram) { s.r.RegisterHist(s.prefix+path, h) }
+
+// RegisterDist registers an existing distribution under the scope.
+func (s Scope) RegisterDist(path string, d *Distribution) { s.r.RegisterDist(s.prefix+path, d) }
+
+// Bucket is one histogram or distribution cell in a snapshot. For
+// histograms Le is the bucket's inclusive upper bound (math.MaxInt64 marks
+// the overflow bucket); for distributions Le is the exact observed key.
+type Bucket struct {
+	Le    int64  `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Sample is one instrument's state at snapshot time. Counter counts are
+// carried in Count exactly (Value mirrors them as float64 for uniform
+// consumers); gauges and means carry Value only.
+type Sample struct {
+	Path    string   `json:"path"`
+	Kind    string   `json:"kind"`
+	Value   float64  `json:"value"`
+	Count   uint64   `json:"count,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a stable-ordered (ascending by path) copy of every registered
+// instrument's state.
+type Snapshot struct {
+	Samples []Sample `json:"samples"`
+}
+
+// Snapshot reads all instruments. The result is independent of the live
+// instruments and of registration order.
+func (r *Registry) Snapshot() Snapshot {
+	if !r.sorted {
+		sort.Slice(r.insts, func(i, j int) bool { return r.insts[i].path < r.insts[j].path })
+		r.sorted = true
+	}
+	out := Snapshot{Samples: make([]Sample, 0, len(r.insts))}
+	for _, in := range r.insts {
+		s := Sample{Path: in.path, Kind: in.kind.String()}
+		switch in.kind {
+		case KindCounter:
+			n := in.counter.Value()
+			s.Count = n
+			s.Value = float64(n)
+		case KindGauge:
+			s.Value = in.gauge()
+		case KindMean:
+			s.Value = in.mean.Value()
+			s.Count = in.mean.Count()
+		case KindHist:
+			h := in.hist
+			s.Count = h.Total()
+			s.Value = float64(h.Total())
+			s.Buckets = make([]Bucket, h.Buckets())
+			for i := 0; i < h.Buckets(); i++ {
+				le := int64(math.MaxInt64)
+				if i < len(h.bounds) {
+					le = int64(h.bounds[i])
+				}
+				s.Buckets[i] = Bucket{Le: le, Count: h.Count(i)}
+			}
+		case KindDist:
+			d := in.dist
+			s.Count = d.Total()
+			s.Value = float64(d.Total())
+			keys := d.Keys()
+			s.Buckets = make([]Bucket, 0, len(keys))
+			for _, k := range keys {
+				s.Buckets = append(s.Buckets, Bucket{Le: int64(k), Count: d.counts[k]})
+			}
+		}
+		out.Samples = append(out.Samples, s)
+	}
+	return out
+}
+
+// Sample returns the sample at path, if present.
+func (s Snapshot) Sample(path string) (Sample, bool) {
+	i := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].Path >= path })
+	if i < len(s.Samples) && s.Samples[i].Path == path {
+		return s.Samples[i], true
+	}
+	return Sample{}, false
+}
+
+// Counter returns the exact count recorded at path (0 when absent).
+func (s Snapshot) Counter(path string) uint64 {
+	sm, ok := s.Sample(path)
+	if !ok {
+		return 0
+	}
+	return sm.Count
+}
+
+// Value returns the float value recorded at path (0 when absent).
+func (s Snapshot) Value(path string) float64 {
+	sm, ok := s.Sample(path)
+	if !ok {
+		return 0
+	}
+	return sm.Value
+}
+
+// HistFraction returns the fraction of histogram samples in bucket index i
+// (overflow bucket is the last index), 0 when absent or empty.
+func (s Snapshot) HistFraction(path string, i int) float64 {
+	sm, ok := s.Sample(path)
+	if !ok || sm.Count == 0 || i < 0 || i >= len(sm.Buckets) {
+		return 0
+	}
+	return Ratio(sm.Buckets[i].Count, sm.Count)
+}
+
+// DistFraction returns the fraction of distribution samples with the exact
+// key, 0 when absent or empty.
+func (s Snapshot) DistFraction(path string, key int64) float64 {
+	sm, ok := s.Sample(path)
+	if !ok || sm.Count == 0 {
+		return 0
+	}
+	for _, b := range sm.Buckets {
+		if b.Le == key {
+			return Ratio(b.Count, sm.Count)
+		}
+	}
+	return 0
+}
+
+// WriteJSON serializes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// promName converts a dotted metric path to a Prometheus metric name.
+func promName(namespace, path string) string {
+	mangled := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, path)
+	if namespace == "" {
+		return mangled
+	}
+	return namespace + "_" + mangled
+}
+
+// WritePrometheus serializes the snapshot in the Prometheus text exposition
+// format. Counters and gauges map directly; means become summaries
+// (_sum/_count); histograms become cumulative-bucket histograms; exact
+// distributions are emitted as one labeled gauge series per key.
+func (s Snapshot) WritePrometheus(w io.Writer, namespace string) error {
+	for _, sm := range s.Samples {
+		name := promName(namespace, sm.Path)
+		var err error
+		switch sm.Kind {
+		case "counter":
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, sm.Count)
+		case "gauge":
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, sm.Value)
+		case "mean":
+			_, err = fmt.Fprintf(w, "# TYPE %s summary\n%s_sum %g\n%s_count %d\n",
+				name, name, sm.Value*float64(sm.Count), name, sm.Count)
+		case "hist":
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+				return err
+			}
+			cum := uint64(0)
+			for _, b := range sm.Buckets {
+				cum += b.Count
+				le := "+Inf"
+				if b.Le != math.MaxInt64 {
+					le = fmt.Sprintf("%d", b.Le)
+				}
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+					return err
+				}
+			}
+			_, err = fmt.Fprintf(w, "%s_count %d\n", name, sm.Count)
+		case "dist":
+			if _, err = fmt.Fprintf(w, "# TYPE %s gauge\n", name); err != nil {
+				return err
+			}
+			for _, b := range sm.Buckets {
+				if _, err = fmt.Fprintf(w, "%s{key=\"%d\"} %d\n", name, b.Le, b.Count); err != nil {
+					return err
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -123,6 +123,50 @@ func (h *Histogram) Count(i int) uint64 { return h.counts[i] }
 // Buckets returns the number of buckets including overflow.
 func (h *Histogram) Buckets() int { return len(h.counts) }
 
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within buckets. Bucket i spans (bounds[i-1], bounds[i]] — bucket 0 starts
+// at 0 — so a rank landing exactly on a cumulative bucket boundary returns
+// that bucket's upper bound exactly, rather than interpolating into the next
+// bucket. Samples in the overflow bucket are reported as the last finite
+// bound (the histogram cannot see past it). With no samples Quantile
+// returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.total)
+	var cum uint64
+	for i, cnt := range h.counts {
+		if cnt == 0 {
+			continue
+		}
+		upper := cum + cnt
+		if rank <= float64(upper) {
+			if i >= len(h.bounds) {
+				return float64(h.bounds[len(h.bounds)-1])
+			}
+			hi := float64(h.bounds[i])
+			lo := 0.0
+			if i > 0 {
+				lo = float64(h.bounds[i-1])
+			}
+			frac := (rank - float64(cum)) / float64(cnt)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum = upper
+	}
+	return float64(h.bounds[len(h.bounds)-1])
+}
+
 // Reset zeroes all buckets.
 func (h *Histogram) Reset() {
 	for i := range h.counts {

@@ -40,6 +40,42 @@ func NewStats() *Stats {
 	return &Stats{SizeHist: stats.NewHistogram(19, 39)}
 }
 
+// Register publishes every uop-cache instrument under sc (expected mount
+// point: "oc"). The paper-figure derived metrics are exported as gauges so
+// a snapshot alone can rebuild Figs 5/6/9/12/18/19.
+func (s *Stats) Register(sc stats.Scope) {
+	sc.RegisterCounter("lookups", &s.Lookups)
+	sc.RegisterCounter("hits", &s.Hits)
+	sc.RegisterGauge("hit_rate", s.HitRate)
+
+	sc.RegisterCounter("fills", &s.Fills)
+	sc.RegisterCounter("fills.deduped", &s.FillsDeduped)
+	sc.RegisterCounter("fills.compact", &s.FillsCompact)
+	sc.RegisterCounter("fills.alone", &s.FillsAlone)
+	sc.RegisterCounter("evict.lines", &s.LineEvictions)
+	sc.RegisterCounter("evict.entries", &s.EntryEvict)
+
+	sc.RegisterCounter("alloc.rac", &s.AllocRAC)
+	sc.RegisterCounter("alloc.pwac", &s.AllocPWAC)
+	sc.RegisterCounter("alloc.fpwac", &s.AllocFPWAC)
+
+	sc.RegisterHist("entry.size", s.SizeHist)
+	term := sc.Scope("entry.term")
+	for i := range s.TermCounts {
+		term.RegisterCounter(TermReason(i).String(), &s.TermCounts[i])
+	}
+	sc.RegisterCounter("entry.span", &s.SpanEntries)
+	sc.RegisterDist("entries_per_pw", &s.EntriesPerPW)
+
+	sc.RegisterCounter("smc.probes", &s.InvalProbes)
+	sc.RegisterCounter("smc.entries", &s.InvalEntries)
+
+	frac := sc.Scope("frac")
+	frac.RegisterGauge("taken_term", s.TakenTermFraction)
+	frac.RegisterGauge("span", s.SpanFraction)
+	frac.RegisterGauge("compacted", s.CompactedFraction)
+}
+
 // HitRate returns lookup hit rate.
 func (s *Stats) HitRate() float64 {
 	return stats.Ratio(s.Hits.Value(), s.Lookups.Value())

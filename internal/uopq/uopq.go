@@ -3,7 +3,10 @@
 // fixed-capacity micro-op queue of Table I (120 uops) that decouples them.
 package uopq
 
-import "uopsim/internal/isa"
+import (
+	"uopsim/internal/isa"
+	"uopsim/internal/stats"
+)
 
 // Source identifies which front-end path supplied a uop.
 type Source uint8
@@ -61,6 +64,17 @@ type Uop struct {
 type Queue struct {
 	buf        []Uop
 	head, size int
+
+	pushes  stats.Counter
+	flushes stats.Counter
+}
+
+// RegisterMetrics publishes the queue's counters under sc (expected mount
+// point: "uopq").
+func (q *Queue) RegisterMetrics(sc stats.Scope) {
+	sc.RegisterCounter("pushes", &q.pushes)
+	sc.RegisterCounter("flushes", &q.flushes)
+	sc.RegisterGauge("occ", func() float64 { return float64(q.size) })
 }
 
 // NewQueue builds a queue with the given capacity.
@@ -91,6 +105,7 @@ func (q *Queue) Push(u Uop) bool {
 	}
 	q.buf[i] = u
 	q.size++
+	q.pushes.Inc()
 	return true
 }
 
@@ -119,4 +134,5 @@ func (q *Queue) Pop() (Uop, bool) {
 // Flush discards all queued uops (pipeline redirect).
 func (q *Queue) Flush() {
 	q.head, q.size = 0, 0
+	q.flushes.Inc()
 }

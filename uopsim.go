@@ -29,6 +29,7 @@ import (
 
 	"uopsim/internal/experiments"
 	"uopsim/internal/pipeline"
+	"uopsim/internal/stats"
 	"uopsim/internal/uopcache"
 	"uopsim/internal/workload"
 )
@@ -51,6 +52,31 @@ type Scheme = experiments.Scheme
 
 // ExperimentParams scales experiment runs.
 type ExperimentParams = experiments.Params
+
+// ExperimentRun is one completed simulation inside an experiment sweep; its
+// Snapshot carries the full metrics registry state (see Params.SnapshotSink).
+type ExperimentRun = experiments.Run
+
+// StatsSnapshot is a stable-ordered dump of every registered instrument.
+// Simulator.StatsSnapshot returns one; it exports to JSON (WriteJSON) and
+// Prometheus text format (WritePrometheus) and answers point queries by
+// dotted path (Counter, Value, Sample).
+type StatsSnapshot = stats.Snapshot
+
+// Observer receives per-cycle pipeline events and buffer occupancy. Attach
+// one with Simulator.SetObserver; a nil observer is free.
+type Observer = pipeline.Observer
+
+// RingObserver retains the last N pipeline events for post-hoc debugging.
+type RingObserver = pipeline.RingObserver
+
+// NewRingObserver builds an Observer retaining the last n events.
+func NewRingObserver(n int) *RingObserver { return pipeline.NewRingObserver(n) }
+
+// MetricsFromSnapshots derives interval metrics from two registry snapshots
+// taken before and after a measurement window. Counter samples carry exact
+// integer counts, so this matches Simulator.RunMeasured bit-for-bit.
+func MetricsFromSnapshots(a, b StatsSnapshot) Metrics { return pipeline.MetricsFromStats(a, b) }
 
 // Compaction allocation policies (§V-B of the paper).
 const (

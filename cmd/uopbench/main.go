@@ -23,6 +23,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"uopsim"
@@ -88,22 +89,28 @@ func main() {
 		insts     = flag.Uint64("insts", 100_000, "measured instructions per run")
 		iters     = flag.Int("iters", 3, "measured iterations per workload")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: TableII bench set)")
+		parallel  = flag.Int("parallel", 1, "concurrent simulations (0 = all CPUs; >1 disables the alloc columns, which are only attributable sequentially)")
+		cacheDir  = flag.String("cache", "", "golden mode only: design-point cache directory (the throughput harness never caches — it must measure real simulation)")
 	)
 	flag.Parse()
 
 	if *golden != "" {
-		if err := writeGolden(*golden); err != nil {
+		if err := writeGolden(*golden, *parallel, *cacheDir); err != nil {
 			fmt.Fprintln(os.Stderr, "uopbench:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *cacheDir != "" {
+		fmt.Fprintln(os.Stderr, "uopbench: -cache only applies to -golden (a cached benchmark would measure disk reads, not the simulator)")
+		os.Exit(2)
 	}
 
 	names := benchWorkloads
 	if *workloads != "" {
 		names = strings.Split(*workloads, ",")
 	}
-	rep, err := run(names, *warmup, *insts, *iters)
+	rep, err := run(names, *warmup, *insts, *iters, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "uopbench:", err)
 		os.Exit(1)
@@ -130,64 +137,136 @@ func main() {
 // run measures each workload: one untimed warmup op, then iters timed ops.
 // An op is a full simulation (NewSimulator + RunMeasured), matching the root
 // BenchmarkTableII, so workload-build sharing shows up in the numbers.
-func run(names []string, warmup, insts uint64, iters int) (*Report, error) {
+//
+// With parallel > 1 the workloads run concurrently on a worker pool; wall
+// clock drops but the alloc columns are zeroed, because runtime.MemStats is
+// process-global and cannot attribute allocations to one workload while
+// others run. parallel == 1 (the default) is byte-identical to the
+// historical sequential harness.
+func run(names []string, warmup, insts uint64, iters, parallel int) (*Report, error) {
 	if iters < 1 {
 		iters = 1
 	}
+	if parallel <= 0 {
+		parallel = runtime.NumCPU()
+	}
 	rep := &Report{Bench: "TableII", Warmup: warmup, Measure: insts, Iters: iters}
 	cfg := uopsim.DefaultConfig()
-	for _, name := range names {
+
+	measure := func(name string, attributeAllocs bool) (Result, error) {
 		var m uopsim.Metrics
 		var last *uopsim.Simulator
 		if _, err := uopsim.Run(cfg, name, warmup, insts); err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
+			return Result{}, fmt.Errorf("%s: %w", name, err)
 		}
 		var msBefore, msAfter runtime.MemStats
-		runtime.GC()
-		runtime.ReadMemStats(&msBefore)
+		if attributeAllocs {
+			runtime.GC()
+			runtime.ReadMemStats(&msBefore)
+		}
 		start := time.Now()
 		total := uint64(0)
 		for i := 0; i < iters; i++ {
 			sim, err := uopsim.NewSimulator(cfg, name)
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", name, err)
+				return Result{}, fmt.Errorf("%s: %w", name, err)
 			}
 			m, err = sim.RunMeasured(warmup, insts)
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", name, err)
+				return Result{}, fmt.Errorf("%s: %w", name, err)
 			}
 			total += m.Insts
 			last = sim
 		}
 		elapsed := time.Since(start)
-		runtime.ReadMemStats(&msAfter)
-		rep.Results = append(rep.Results, Result{
+		r := Result{
 			Workload:    name,
 			InstsPerSec: float64(total) / elapsed.Seconds(),
-			AllocsPerOp: (msAfter.Mallocs - msBefore.Mallocs) / uint64(iters),
-			BytesPerOp:  (msAfter.TotalAlloc - msBefore.TotalAlloc) / uint64(iters),
 			NsPerOp:     elapsed.Nanoseconds() / int64(iters),
 			UPC:         m.UPC,
 			MPKI:        m.BranchMPKI,
 			Snapshot:    last.StatsSnapshot(),
-		})
+		}
+		if attributeAllocs {
+			runtime.ReadMemStats(&msAfter)
+			r.AllocsPerOp = (msAfter.Mallocs - msBefore.Mallocs) / uint64(iters)
+			r.BytesPerOp = (msAfter.TotalAlloc - msBefore.TotalAlloc) / uint64(iters)
+		}
+		return r, nil
 	}
+
+	if parallel == 1 {
+		for _, name := range names {
+			r, err := measure(name, true)
+			if err != nil {
+				return nil, err
+			}
+			rep.Results = append(rep.Results, r)
+		}
+		return rep, nil
+	}
+
+	results := make([]Result, len(names))
+	errs := make([]error, len(names))
+	in := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range in {
+				results[i], errs[i] = measure(names[i], false)
+			}
+		}()
+	}
+	for i := range names {
+		in <- i
+	}
+	close(in)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	rep.Results = append(rep.Results, results...)
 	return rep, nil
 }
 
-// writeGolden dumps exact metrics for every scheme x workload point.
-func writeGolden(path string) error {
-	gf := GoldenFile{Warmup: goldenWarmup, Measure: goldenMeasure}
+// writeGolden dumps exact metrics for every scheme x workload point, routed
+// through the shared design-point engine so the dump can run in parallel
+// and, with a cache directory, reuse blobs from previous invocations. The
+// point order — and therefore the file — is identical to the historical
+// sequential loop.
+func writeGolden(path string, parallel int, cacheDir string) error {
+	var pts []uopsim.DesignPoint
 	for _, name := range uopsim.WorkloadNames() {
 		for _, sc := range uopsim.Schemes(2) {
-			m, err := uopsim.Run(sc.Configure(2048), name, goldenWarmup, goldenMeasure)
-			if err != nil {
-				return fmt.Errorf("%s/%s: %w", name, sc.Name, err)
-			}
-			gf.Points = append(gf.Points, GoldenPoint{
-				Workload: name, Scheme: sc.Name, Capacity: 2048, Metrics: m,
-			})
+			pts = append(pts, uopsim.DesignPoint{Workload: name, Scheme: sc, Capacity: 2048})
 		}
+	}
+	params := uopsim.ExperimentParams{
+		WarmupInsts:  goldenWarmup,
+		MeasureInsts: goldenMeasure,
+		Parallel:     parallel,
+	}
+	eng, err := uopsim.NewRunEngine(cacheDir, 0)
+	if err != nil {
+		return err
+	}
+	params.Engine = eng
+	runs, err := uopsim.RunDesignPoints(params, pts)
+	if err != nil {
+		return err
+	}
+	gf := GoldenFile{Warmup: goldenWarmup, Measure: goldenMeasure}
+	for i, r := range runs {
+		gf.Points = append(gf.Points, GoldenPoint{
+			Workload: pts[i].Workload, Scheme: pts[i].Scheme.Name, Capacity: 2048, Metrics: r.Metrics,
+		})
+	}
+	if cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "[engine: %s]\n", eng.Stats())
 	}
 	return writeJSON(path, gf)
 }

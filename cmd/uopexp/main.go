@@ -8,6 +8,15 @@
 //	uopexp -exp fig3 -workloads bm_cc,nutch
 //	uopexp -exp fig3 -cpuprofile cpu.out -memprofile mem.out
 //	uopexp -exp fig3 -metrics snapshots.json
+//	uopexp -exp all -cache .uopcache            # persist design points
+//	uopexp -exp all -cache .uopcache -cache-verify 4
+//
+// Every design point is routed through a shared engine that simulates each
+// unique (workload, config, run-length) fingerprint exactly once per
+// invocation, no matter how many tables and figures ask for it; -cache
+// extends the reuse across invocations. Results are bit-identical with the
+// engine on, warm, or off (-dedupe=false). The engine's resolution
+// counters are printed to stderr so stdout stays diffable.
 package main
 
 import (
@@ -41,8 +50,20 @@ func run() int {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		metricsOut = flag.String("metrics", "", "collect every run's full metrics registry snapshot into this JSON file")
+		dedupe     = flag.Bool("dedupe", true, "share design points across experiments through the in-process engine")
+		cacheDir   = flag.String("cache", "", "persist design-point results as fingerprint-named JSON blobs in this directory and reuse them across invocations")
+		cacheVer   = flag.Int("cache-verify", 0, "re-simulate every Nth disk-cached point and fail on any bit-level blob mismatch (0 = off; requires -cache)")
 	)
 	flag.Parse()
+
+	if *cacheVer > 0 && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "uopexp: -cache-verify requires -cache")
+		return 2
+	}
+	if *cacheDir != "" && !*dedupe {
+		fmt.Fprintln(os.Stderr, "uopexp: -cache requires the engine (-dedupe=true)")
+		return 2
+	}
 
 	if *list {
 		for _, e := range uopsim.Experiments() {
@@ -87,6 +108,14 @@ func run() int {
 	if *workloads != "" {
 		params.Workloads = strings.Split(*workloads, ",")
 	}
+	if *dedupe {
+		eng, err := uopsim.NewRunEngine(*cacheDir, *cacheVer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uopexp:", err)
+			return 1
+		}
+		params.Engine = eng
+	}
 	var collected []runSnapshot
 	if *metricsOut != "" {
 		params.SnapshotSink = func(r uopsim.ExperimentRun) {
@@ -120,6 +149,11 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("[%d run snapshots written to %s]\n", len(collected), *metricsOut)
+	}
+	if params.Engine != nil {
+		// stderr, deliberately: stdout must stay byte-identical whether
+		// points were simulated, memoized, or loaded from disk.
+		fmt.Fprintf(os.Stderr, "[engine: %s]\n", params.Engine.Stats())
 	}
 	return 0
 }

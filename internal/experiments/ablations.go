@@ -6,7 +6,6 @@ import (
 
 	"uopsim/internal/pipeline"
 	"uopsim/internal/stats"
-	"uopsim/internal/workload"
 )
 
 // Ablations quantifies the design choices the paper fixes without sweeping:
@@ -60,7 +59,7 @@ func Ablations(w io.Writer, p Params) error {
 	}
 	par := parallelism(p, len(works))
 	in := make(chan work)
-	out := make(chan res)
+	out := make(chan res, len(works)) // buffered like sweep: no delivery rendezvous
 	for i := 0; i < par; i++ {
 		go func() {
 			for wk := range in {
@@ -122,19 +121,14 @@ func safeRatio(a, b float64) float64 {
 	return a / b
 }
 
-// runOneCfg mirrors runOne but with an explicit configuration.
+// runOneCfg mirrors runOne but with an explicit configuration. It goes
+// through the same engine-aware point resolver, so ablation variants
+// dedupe too — the reference variant is exactly the F-PWAC@2048 point the
+// scheme figures already simulated.
 func runOneCfg(p Params, name, schemeName string, cfg pipeline.Config) (Run, error) {
-	wl, err := workload.Shared(name)
-	if err != nil {
-		return Run{}, err
-	}
-	sim, err := pipeline.New(cfg, wl)
-	if err != nil {
-		return Run{}, err
-	}
-	m, err := sim.RunMeasured(p.WarmupInsts, p.MeasureInsts)
+	pr, err := point(p, name, cfg)
 	if err != nil {
 		return Run{}, fmt.Errorf("%s/%s: %w", name, schemeName, err)
 	}
-	return Run{Workload: name, Scheme: schemeName, Metrics: m, Snapshot: sim.StatsSnapshot()}, nil
+	return Run{Workload: name, Suite: pr.Suite, Scheme: schemeName, Metrics: pr.Metrics, Snapshot: pr.Snapshot}, nil
 }

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"uopsim/internal/pipeline"
+	"uopsim/internal/runcache"
+	"uopsim/internal/stats"
+	"uopsim/internal/workload"
+)
+
+// PointResult is the shareable payload of one design point: everything a
+// simulation produces that does not depend on which driver asked for it.
+// The scheme *label* is deliberately absent — two schemes that configure
+// the same machine (e.g. "baseline" from Schemes(2) and Schemes(3)) share
+// one payload, and the sweep re-attaches each driver's label when it
+// builds the Run. This struct is also the on-disk cache blob format.
+type PointResult struct {
+	Suite    string           `json:"suite"`
+	Metrics  pipeline.Metrics `json:"metrics"`
+	Snapshot stats.Snapshot   `json:"snapshot"`
+}
+
+// Engine is the shared design-point engine: it dedupes submissions by
+// fingerprint, simulates each unique point exactly once per process, and
+// optionally persists results as fingerprint-named JSON blobs.
+type Engine = runcache.Engine[PointResult]
+
+// NewEngine builds a design-point engine. cacheDir == "" keeps it purely
+// in-process; otherwise completed points persist under cacheDir and later
+// invocations load them back (corrupt or stale blobs are re-simulated,
+// never trusted). verifyEvery > 0 additionally re-simulates every n-th
+// disk-served point and fails it on any bit-level blob mismatch.
+func NewEngine(cacheDir string, verifyEvery int) (*Engine, error) {
+	e := runcache.New[PointResult]()
+	e.SetValidate(validatePoint)
+	if cacheDir != "" {
+		d, err := runcache.OpenDir(cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		e.SetDir(d)
+		e.SetVerifyEvery(verifyEvery)
+	}
+	return e, nil
+}
+
+// validatePoint is the semantic half of corruption tolerance: a blob that
+// parses as JSON but does not look like a completed run (no cycles, or a
+// snapshot whose sample order would break path lookups) is rejected and
+// the point re-simulated.
+func validatePoint(r PointResult) error {
+	if r.Metrics.Cycles <= 0 {
+		return fmt.Errorf("experiments: cached point has no measured cycles")
+	}
+	if len(r.Snapshot.Samples) == 0 {
+		return fmt.Errorf("experiments: cached point has an empty snapshot")
+	}
+	return r.Snapshot.Validate()
+}
+
+// pointFingerprint addresses one single-thread design point. The key
+// covers everything that determines the result: simulator and
+// workload-generator versions (the invalidation rule — see
+// pipeline.SimVersion), the full workload profile value (name, seed and
+// every synthesis knob), the complete pipeline configuration, and the run
+// lengths. Canonical encoding is reflection-based and exhaustive, so a
+// Config field added without fingerprint coverage fails Key loudly.
+func pointFingerprint(p Params, prof *workload.Profile, cfg pipeline.Config) (runcache.Fingerprint, error) {
+	return runcache.Key(pipeline.SimVersion, workload.GenVersion,
+		*prof, cfg, p.WarmupInsts, p.MeasureInsts)
+}
+
+// smtFingerprint addresses one two-thread SMT design point (distinct part
+// structure plus an explicit tag keep the single- and dual-thread key
+// spaces disjoint). Per-thread run lengths are halved exactly as the SMT
+// driver halves them.
+func smtFingerprint(p Params, profA, profB *workload.Profile, cfg pipeline.Config) (runcache.Fingerprint, error) {
+	return runcache.Key(pipeline.SimVersion, workload.GenVersion, "smt-pair",
+		*profA, *profB, cfg, p.WarmupInsts/2, p.MeasureInsts/2)
+}
+
+// point resolves one design point: through the shared engine when Params
+// carries one (memo/disk dedupe), by direct simulation otherwise. The two
+// paths are bit-identical by construction — the engine only ever returns
+// what simulatePoint produced for the same fingerprint inputs.
+func point(p Params, name string, cfg pipeline.Config) (PointResult, error) {
+	if p.Engine == nil {
+		return simulatePoint(p, name, cfg)
+	}
+	prof, err := workload.ByName(name)
+	if err != nil {
+		return PointResult{}, err
+	}
+	fp, err := pointFingerprint(p, prof, cfg)
+	if err != nil {
+		return PointResult{}, err
+	}
+	return p.Engine.Do(fp, func() (PointResult, error) {
+		return simulatePoint(p, name, cfg)
+	})
+}
+
+// simulatePoint runs one configuration against the shared immutable
+// workload build (per-run state lives in the simulator's walker, so
+// concurrent points stay independent).
+func simulatePoint(p Params, name string, cfg pipeline.Config) (PointResult, error) {
+	wl, err := workload.Shared(name)
+	if err != nil {
+		return PointResult{}, err
+	}
+	sim, err := pipeline.New(cfg, wl)
+	if err != nil {
+		return PointResult{}, err
+	}
+	m, err := sim.RunMeasured(p.WarmupInsts, p.MeasureInsts)
+	if err != nil {
+		return PointResult{}, err
+	}
+	return PointResult{Suite: wl.Profile.Suite, Metrics: m, Snapshot: sim.StatsSnapshot()}, nil
+}

@@ -29,6 +29,14 @@ type Params struct {
 	// collector goroutine, so implementations need no locking. The Ablations
 	// and SMT drivers use custom runners and do not feed the sink.
 	SnapshotSink func(Run)
+	// Engine, when set, routes every design point — the sweep-based tables
+	// and figures, the ablation variants, and the SMT pairs — through the
+	// shared design-point engine: duplicate submissions are fingerprinted,
+	// simulated once, and fanned out to every asking driver, and with a
+	// cache directory attached results persist across invocations. Nil
+	// preserves direct simulation. Rendered output is bit-identical either
+	// way.
+	Engine *Engine
 }
 
 func (p Params) withDefaults() Params {
@@ -99,29 +107,22 @@ type Run struct {
 	Snapshot stats.Snapshot
 }
 
-// runOne runs one scheme x capacity point against the shared immutable
-// workload build (per-run state lives in the simulator's walker, so jobs
-// stay independent).
+// runOne resolves one scheme x capacity point (through the shared engine
+// when Params carries one) and labels it for the submitting driver. Every
+// failure names the design point, so a partial sweep's aggregated error
+// pinpoints what broke.
 func runOne(p Params, name string, sc Scheme, capacity int) (Run, error) {
-	wl, err := workload.Shared(name)
-	if err != nil {
-		return Run{}, err
-	}
-	sim, err := pipeline.New(sc.Configure(capacity), wl)
-	if err != nil {
-		return Run{}, err
-	}
-	m, err := sim.RunMeasured(p.WarmupInsts, p.MeasureInsts)
+	pr, err := point(p, name, sc.Configure(capacity))
 	if err != nil {
 		return Run{}, fmt.Errorf("%s/%s/%d: %w", name, sc.Name, capacity, err)
 	}
 	return Run{
 		Workload: name,
-		Suite:    wl.Profile.Suite,
+		Suite:    pr.Suite,
 		Scheme:   sc.Name,
 		Capacity: capacity,
-		Metrics:  m,
-		Snapshot: sim.StatsSnapshot(),
+		Metrics:  pr.Metrics,
+		Snapshot: pr.Snapshot,
 	}, nil
 }
 
@@ -156,7 +157,12 @@ func sweep(p Params, jobs []job) (map[string]Run, error) {
 	}
 	par := parallelism(p, len(jobs))
 	in := make(chan job)
-	out := make(chan result)
+	// out is buffered to the job count so a worker never blocks handing a
+	// finished run to the collector: unbuffered, every delivery was a
+	// rendezvous serialized behind the collector loop (and its
+	// SnapshotSink), which stalled workers exactly when results bunched
+	// up. See BenchmarkSweepDelivery for the measured difference.
+	out := make(chan result, len(jobs))
 	for w := 0; w < par; w++ {
 		go func() {
 			for j := range in {
@@ -184,6 +190,33 @@ func sweep(p Params, jobs []job) (map[string]Run, error) {
 		}
 	}
 	return runs, fails.error("sweep")
+}
+
+// Point names one (workload, scheme, capacity) design point for RunPoints.
+type Point struct {
+	Workload string
+	Scheme   Scheme
+	Capacity int
+}
+
+// RunPoints runs one simulation per design point — deduped through
+// p.Engine when one is attached — and returns the completed runs aligned
+// index-for-index with pts. A failed point leaves a zero Run at its index
+// and is reported through the aggregated error, so callers can salvage
+// partial batches. This is the external face of the sweep executor
+// (cmd/uopbench's golden dump drives its Table II loop through it).
+func RunPoints(p Params, pts []Point) ([]Run, error) {
+	p = p.withDefaults()
+	jobs := make([]job, len(pts))
+	for i, pt := range pts {
+		jobs[i] = job{pt.Workload, pt.Scheme, pt.Capacity}
+	}
+	runs, err := sweep(p, jobs)
+	out := make([]Run, len(pts))
+	for i, pt := range pts {
+		out[i] = runs[key(pt.Workload, pt.Scheme.Name, pt.Capacity)]
+	}
+	return out, err
 }
 
 // failureSummary aggregates failures across a parallel job batch so the

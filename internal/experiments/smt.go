@@ -41,36 +41,17 @@ func SMT(w io.Writer, p Params) error {
 	}
 	par := parallelism(p, len(works))
 	in := make(chan work)
-	out := make(chan res)
+	out := make(chan res, len(works)) // buffered like sweep: no delivery rendezvous
 	for i := 0; i < par; i++ {
 		go func() {
 			for wk := range in {
 				r := res{workload: wk.name, scheme: wk.scheme.Name}
-				profA, err := workload.ByName(wk.name)
+				pr, err := smtPoint(p, wk.scheme, wk.name, coRunner)
 				if err != nil {
-					r.err = err
-					out <- r
-					continue
+					r.err = fmt.Errorf("%s/%s: %w", wk.name, wk.scheme.Name, err)
+				} else {
+					r.ratio, r.upc = pr.Metrics.OCFetchRatio, pr.Metrics.UPC
 				}
-				profB, err := workload.ByName(coRunner)
-				if err != nil {
-					r.err = err
-					out <- r
-					continue
-				}
-				pair, err := smt.New(wk.scheme.Configure(2048), profA, profB)
-				if err != nil {
-					r.err = err
-					out <- r
-					continue
-				}
-				a, _, err := pair.RunMeasured(p.WarmupInsts/2, p.MeasureInsts/2)
-				if err != nil {
-					r.err = err
-					out <- r
-					continue
-				}
-				r.ratio, r.upc = a.OCFetchRatio, a.UPC
 				out <- r
 			}
 		}()
@@ -121,4 +102,38 @@ func SMT(w io.Writer, p Params) error {
 		(stats.GeoMean(pwacGain)-1)*100, (stats.GeoMean(fpwacGain)-1)*100)
 	fmt.Fprintf(w, "(the paper argues PW-aware compaction exists precisely because RAC cannot keep a thread's entries together under SMT, §V-B1)\n\n")
 	return nil
+}
+
+// smtPoint resolves one two-thread SMT design point — thread A's measured
+// interval plus its end-of-run snapshot — through the shared engine when
+// one is attached.
+func smtPoint(p Params, sc Scheme, nameA, nameB string) (PointResult, error) {
+	profA, err := workload.ByName(nameA)
+	if err != nil {
+		return PointResult{}, err
+	}
+	profB, err := workload.ByName(nameB)
+	if err != nil {
+		return PointResult{}, err
+	}
+	cfg := sc.Configure(2048)
+	compute := func() (PointResult, error) {
+		pair, err := smt.New(cfg, profA, profB)
+		if err != nil {
+			return PointResult{}, err
+		}
+		a, _, err := pair.RunMeasured(p.WarmupInsts/2, p.MeasureInsts/2)
+		if err != nil {
+			return PointResult{}, err
+		}
+		return PointResult{Suite: profA.Suite, Metrics: a, Snapshot: pair.A.StatsSnapshot()}, nil
+	}
+	if p.Engine == nil {
+		return compute()
+	}
+	fp, err := smtFingerprint(p, profA, profB, cfg)
+	if err != nil {
+		return PointResult{}, err
+	}
+	return p.Engine.Do(fp, compute)
 }

@@ -26,6 +26,16 @@ import (
 	"uopsim/internal/workload"
 )
 
+// SimVersion names the simulated-behaviour generation of this simulator.
+// It is part of every design-point fingerprint (internal/runcache), making
+// a version bump the run-cache invalidation rule: bump it in the same
+// change that regenerates testdata/golden_metrics.json — i.e. whenever a
+// commit intentionally alters simulated behaviour — and every previously
+// persisted blob stops being addressed. Pure optimizations that keep the
+// golden metrics bit-identical must NOT bump it; that is what lets cached
+// runs survive performance work.
+const SimVersion = "uopsim-1"
+
 // Config assembles the whole-core configuration (Table I defaults via
 // DefaultConfig).
 type Config struct {

@@ -1,0 +1,60 @@
+package runcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Dir is an eviction-free on-disk blob store: one JSON file per
+// fingerprint, written atomically (temp file + rename) so a concurrent or
+// killed writer can never leave a half-written blob behind a valid name.
+// Invalidation is by content: the fingerprint covers the simulator and
+// workload-generator version strings, so a version bump simply addresses a
+// disjoint set of file names and stale blobs become unreferenced garbage
+// (delete the directory to reclaim the space).
+type Dir struct {
+	path string
+}
+
+// OpenDir opens (creating if needed) a cache directory.
+func OpenDir(path string) (*Dir, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("runcache: %w", err)
+	}
+	return &Dir{path: path}, nil
+}
+
+// BlobPath is the file backing fp.
+func (d *Dir) BlobPath(fp Fingerprint) string {
+	return filepath.Join(d.path, string(fp)+".json")
+}
+
+// Load reads the blob for fp. A missing or unreadable file is a plain
+// miss: the engine re-simulates, it never trusts a blob it cannot read.
+func (d *Dir) Load(fp Fingerprint) ([]byte, bool) {
+	b, err := os.ReadFile(d.BlobPath(fp))
+	return b, err == nil
+}
+
+// Store atomically persists the blob for fp.
+func (d *Dir) Store(fp Fingerprint, blob []byte) error {
+	tmp, err := os.CreateTemp(d.path, "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), d.BlobPath(fp)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package runcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Stats counts how the engine resolved the points submitted to it. The
+// split between Simulated and the hit counters is the dedupe/caching
+// evidence the experiment harness reports (and CI asserts on).
+type Stats struct {
+	// Submitted is the total number of Do calls.
+	Submitted uint64
+	// Unique is the number of distinct fingerprints submitted.
+	Unique uint64
+	// MemoHits counts submissions that joined an existing in-process
+	// entry (completed or still in flight).
+	MemoHits uint64
+	// Simulated counts points resolved by running compute.
+	Simulated uint64
+	// DiskHits counts points resolved from a valid on-disk blob.
+	DiskHits uint64
+	// DiskWrites counts blobs persisted after a simulation.
+	DiskWrites uint64
+	// BadBlobs counts on-disk entries that failed to decode or validate
+	// and were re-simulated instead of trusted.
+	BadBlobs uint64
+	// Verified / VerifyFailed count -cache-verify re-simulations and the
+	// bit-level mismatches they caught.
+	Verified     uint64
+	VerifyFailed uint64
+}
+
+// DedupeFactor is submitted points per simulation-or-disk resolution: how
+// many times each unique design point was reused on average.
+func (s Stats) DedupeFactor() float64 {
+	if s.Unique == 0 {
+		return 1
+	}
+	return float64(s.Submitted) / float64(s.Unique)
+}
+
+// String renders the one-line summary the cmds log after a sweep.
+func (s Stats) String() string {
+	return fmt.Sprintf("submitted=%d unique=%d simulated=%d memo_hits=%d disk_hits=%d disk_writes=%d bad_blobs=%d verified=%d verify_failed=%d dedupe=%.2fx",
+		s.Submitted, s.Unique, s.Simulated, s.MemoHits, s.DiskHits, s.DiskWrites, s.BadBlobs, s.Verified, s.VerifyFailed, s.DedupeFactor())
+}
+
+// Engine memoizes design-point results by fingerprint. The first submitter
+// of a fingerprint resolves it (disk load if attached, otherwise compute,
+// run in the submitter's goroutine so the caller's worker pool bounds
+// concurrency); every other submitter blocks until the entry completes and
+// shares the result. Errors memoize too — a deterministic simulator fails
+// a point the same way every time, so re-running it for each duplicate
+// submission would only repeat the cost.
+type Engine[T any] struct {
+	dir         *Dir
+	validate    func(T) error
+	verifyEvery int
+
+	mu        sync.Mutex
+	entries   map[Fingerprint]*entry[T]
+	st        Stats
+	verifySeq uint64
+}
+
+type entry[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// New builds an engine with in-process memoization only.
+func New[T any]() *Engine[T] {
+	return &Engine[T]{entries: make(map[Fingerprint]*entry[T])}
+}
+
+// SetDir attaches an on-disk blob store. Configure before the first Do.
+func (e *Engine[T]) SetDir(d *Dir) { e.dir = d }
+
+// SetValidate installs a semantic check applied to decoded disk blobs; a
+// blob that fails it counts as corrupt and is re-simulated, never trusted.
+func (e *Engine[T]) SetValidate(fn func(T) error) { e.validate = fn }
+
+// SetVerifyEvery enables cache verification: every n-th point that would
+// have been served from disk is re-simulated and its re-encoded result
+// compared bit-for-bit against the cached blob; a mismatch resolves the
+// point as an error naming the stale blob. 0 disables verification.
+func (e *Engine[T]) SetVerifyEvery(n int) { e.verifyEvery = n }
+
+// Stats returns a copy of the resolution counters.
+func (e *Engine[T]) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.st
+}
+
+// Do resolves the design point at fp, running compute at most once per
+// fingerprint per process. Safe for concurrent use.
+func (e *Engine[T]) Do(fp Fingerprint, compute func() (T, error)) (T, error) {
+	e.mu.Lock()
+	e.st.Submitted++
+	if en, ok := e.entries[fp]; ok {
+		e.st.MemoHits++
+		e.mu.Unlock()
+		<-en.done
+		return en.val, en.err
+	}
+	en := &entry[T]{done: make(chan struct{})}
+	e.entries[fp] = en
+	e.st.Unique++
+	e.mu.Unlock()
+
+	en.val, en.err = e.resolve(fp, compute)
+	close(en.done)
+	return en.val, en.err
+}
+
+func (e *Engine[T]) resolve(fp Fingerprint, compute func() (T, error)) (T, error) {
+	if e.dir != nil {
+		if blob, ok := e.dir.Load(fp); ok {
+			var v T
+			if err := json.Unmarshal(blob, &v); err == nil && e.valid(v) {
+				if e.shouldVerify() {
+					return e.verifyAgainst(fp, blob, compute)
+				}
+				e.bump(&e.st.DiskHits)
+				return v, nil
+			}
+			e.bump(&e.st.BadBlobs)
+		}
+	}
+	v, err := compute()
+	e.bump(&e.st.Simulated)
+	if err == nil && e.dir != nil {
+		if blob, merr := json.Marshal(v); merr == nil && e.dir.Store(fp, blob) == nil {
+			e.bump(&e.st.DiskWrites)
+		}
+	}
+	return v, err
+}
+
+// verifyAgainst re-simulates a disk-cached point and diffs the fresh
+// encoding against the cached blob bit-for-bit.
+func (e *Engine[T]) verifyAgainst(fp Fingerprint, cached []byte, compute func() (T, error)) (T, error) {
+	v, err := compute()
+	e.bump(&e.st.Simulated)
+	if err != nil {
+		return v, fmt.Errorf("cache-verify %s: re-simulation failed: %w", fp.Short(), err)
+	}
+	fresh, err := json.Marshal(v)
+	if err != nil {
+		return v, fmt.Errorf("cache-verify %s: %w", fp.Short(), err)
+	}
+	if !bytes.Equal(fresh, cached) {
+		e.bump(&e.st.VerifyFailed)
+		return v, fmt.Errorf("cache-verify: cached blob %s does not match re-simulation (stale or corrupt cache entry; delete it or the cache directory)",
+			e.dir.BlobPath(fp))
+	}
+	e.bump(&e.st.Verified)
+	return v, nil
+}
+
+func (e *Engine[T]) valid(v T) bool {
+	return e.validate == nil || e.validate(v) == nil
+}
+
+func (e *Engine[T]) shouldVerify() bool {
+	if e.verifyEvery <= 0 {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.verifySeq++
+	return e.verifySeq%uint64(e.verifyEvery) == 0
+}
+
+func (e *Engine[T]) bump(c *uint64) {
+	e.mu.Lock()
+	*c++
+	e.mu.Unlock()
+}

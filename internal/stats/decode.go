@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Validate checks the structural invariants a snapshot must hold for point
+// queries (Sample, Counter, Value) to work: samples strictly ascending by
+// path and every kind a known instrument type. Snapshots produced by
+// Registry.Snapshot hold these by construction; decoded ones (e.g. a
+// run-cache blob) may not, and a consumer that trusted an unsorted sample
+// list would silently answer every lookup with zero.
+func (s Snapshot) Validate() error {
+	known := map[string]bool{}
+	for _, n := range kindNames {
+		known[n] = true
+	}
+	for i, sm := range s.Samples {
+		if sm.Path == "" {
+			return fmt.Errorf("stats: snapshot sample %d has an empty path", i)
+		}
+		if !known[sm.Kind] {
+			return fmt.Errorf("stats: snapshot sample %q has unknown kind %q", sm.Path, sm.Kind)
+		}
+		if i > 0 && s.Samples[i-1].Path >= sm.Path {
+			return fmt.Errorf("stats: snapshot samples out of order (%q then %q)", s.Samples[i-1].Path, sm.Path)
+		}
+	}
+	return nil
+}
+
+// DecodeSnapshot parses a snapshot previously serialized as JSON (by
+// WriteJSON or as part of a run-cache blob) and validates it. The decoded
+// snapshot carries exact integer counts — Counter/HistFraction/Value
+// queries answer identically to the live snapshot it was encoded from.
+func DecodeSnapshot(b []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("stats: decoding snapshot: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Snapshot{}, err
+	}
+	return s, nil
+}

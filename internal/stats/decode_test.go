@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func validSnapshot() Snapshot {
+	return Snapshot{Samples: []Sample{
+		{Path: "bpu.lookups", Kind: "counter", Value: 10, Count: 10},
+		{Path: "oc.hit_rate", Kind: "gauge", Value: 0.75},
+		{Path: "oc.lookups", Kind: "counter", Value: 4, Count: 4},
+	}}
+}
+
+func TestSnapshotValidate(t *testing.T) {
+	if err := validSnapshot().Validate(); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	s := validSnapshot()
+	s.Samples[1].Path = ""
+	if s.Validate() == nil {
+		t.Error("empty path must be rejected")
+	}
+	s = validSnapshot()
+	s.Samples[1].Kind = "bogus"
+	if s.Validate() == nil {
+		t.Error("unknown kind must be rejected")
+	}
+	s = validSnapshot()
+	s.Samples[0], s.Samples[2] = s.Samples[2], s.Samples[0]
+	if s.Validate() == nil {
+		t.Error("out-of-order samples must be rejected (lookups would silently miss)")
+	}
+	s = validSnapshot()
+	s.Samples[1] = s.Samples[0]
+	if s.Validate() == nil {
+		t.Error("duplicate paths must be rejected")
+	}
+}
+
+func TestDecodeSnapshotRoundTrip(t *testing.T) {
+	want := validSnapshot()
+	b, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip diverged\n got: %+v\nwant: %+v", got, want)
+	}
+	if got.Counter("bpu.lookups") != 10 {
+		t.Error("decoded snapshot does not answer counter queries")
+	}
+}
+
+func TestDecodeSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := DecodeSnapshot([]byte("{not json")); err == nil {
+		t.Error("malformed JSON must error")
+	}
+	if _, err := DecodeSnapshot([]byte(`{"samples":[{"path":"x","kind":"bogus"}]}`)); err == nil {
+		t.Error("semantically invalid snapshot must error")
+	}
+}

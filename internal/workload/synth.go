@@ -8,6 +8,13 @@ import (
 	"uopsim/internal/rng"
 )
 
+// GenVersion names the workload-synthesis algorithm generation. It is part
+// of every design-point fingerprint (internal/runcache): bump it whenever a
+// change to this package alters the program or behaviour stream a profile
+// synthesizes — the seeds in Profiles() then address new content and every
+// persisted run-cache blob silently expires.
+const GenVersion = "wlgen-1"
+
 // BehaviorKind classifies the dynamic outcome model of a conditional branch.
 type BehaviorKind uint8
 

@@ -29,6 +29,7 @@ import (
 
 	"uopsim/internal/experiments"
 	"uopsim/internal/pipeline"
+	"uopsim/internal/runcache"
 	"uopsim/internal/stats"
 	"uopsim/internal/uopcache"
 	"uopsim/internal/workload"
@@ -56,6 +57,40 @@ type ExperimentParams = experiments.Params
 // ExperimentRun is one completed simulation inside an experiment sweep; its
 // Snapshot carries the full metrics registry state (see Params.SnapshotSink).
 type ExperimentRun = experiments.Run
+
+// RunEngine is the shared design-point engine: attach one to
+// ExperimentParams.Engine and every design point an experiment submits is
+// fingerprinted, simulated at most once per process, and — with a cache
+// directory — persisted as a JSON blob keyed by that fingerprint. The
+// fingerprint covers the full pipeline configuration, the workload profile
+// (including its generation seed), the run lengths, and the simulator and
+// workload-generator version strings; bumping a version is the cache
+// invalidation rule.
+type RunEngine = experiments.Engine
+
+// RunEngineStats are the engine's resolution counters (simulated vs memo
+// vs disk) plus the measured dedupe factor.
+type RunEngineStats = runcache.Stats
+
+// DesignPoint names one (workload, scheme, capacity) simulation for
+// RunDesignPoints.
+type DesignPoint = experiments.Point
+
+// NewRunEngine builds a design-point engine. cacheDir == "" keeps results
+// in-process only; otherwise completed points persist under cacheDir and
+// later invocations load them back (corrupt blobs are re-simulated, never
+// trusted). verifyEvery > 0 re-simulates every n-th disk-served point and
+// fails it unless its blob matches the fresh result bit-for-bit.
+func NewRunEngine(cacheDir string, verifyEvery int) (*RunEngine, error) {
+	return experiments.NewEngine(cacheDir, verifyEvery)
+}
+
+// RunDesignPoints runs one simulation per point, in parallel, deduped
+// through p.Engine when one is attached. The returned slice is aligned
+// with pts; failed points hold zero Runs and are summarized in the error.
+func RunDesignPoints(p ExperimentParams, pts []DesignPoint) ([]ExperimentRun, error) {
+	return experiments.RunPoints(p, pts)
+}
 
 // StatsSnapshot is a stable-ordered dump of every registered instrument.
 // Simulator.StatsSnapshot returns one; it exports to JSON (WriteJSON) and

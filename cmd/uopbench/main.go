@@ -128,8 +128,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "uopbench:", err)
 		os.Exit(1)
 	}
+	// The summary carries measured wall-clock rates, so it goes to stderr:
+	// stdout stays byte-comparable between runs (the report file is the
+	// machine-readable output).
 	for _, r := range rep.Results {
-		fmt.Printf("%-10s %12.0f insts/s %10d allocs/op %12d B/op  UPC=%.3f MPKI=%.2f\n",
+		fmt.Fprintf(os.Stderr, "%-10s %12.0f insts/s %10d allocs/op %12d B/op  UPC=%.3f MPKI=%.2f\n",
 			r.Workload, r.InstsPerSec, r.AllocsPerOp, r.BytesPerOp, r.UPC, r.MPKI)
 	}
 }

@@ -141,7 +141,10 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "uopexp:", err)
 			return 1
 		}
-		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+		// stderr, like the engine stats: stdout must stay byte-comparable
+		// across runs, and wall-clock timing is the one nondeterministic
+		// line. CI diffs cold vs warm sweeps directly on stdout.
+		fmt.Fprintf(os.Stderr, "[%s completed in %.1fs]\n", id, time.Since(start).Seconds())
 	}
 	if *metricsOut != "" {
 		if err := writeSnapshots(*metricsOut, collected); err != nil {

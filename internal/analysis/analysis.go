@@ -1,0 +1,158 @@
+// Package analysis is uopvet's engine: a small, stdlib-only static-analysis
+// framework (go/parser + go/types loading, positioned diagnostics,
+// //uopvet:ignore suppressions, //uopvet:hotpath markers) plus the four
+// concrete analyzers that turn the simulator's implicit invariants —
+// bit-determinism, runcache fingerprintability, metrics-path hygiene, and
+// hot-path allocation discipline — into lint failures instead of debugging
+// sessions. See DESIGN.md §8 for the invariants each check guards.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a resolved source position.
+type Diagnostic struct {
+	Pos     token.Position `json:"-"`
+	File    string         `json:"file"`
+	Line    int            `json:"line"`
+	Col     int            `json:"col"`
+	Check   string         `json:"check"`
+	Message string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	// Name is the check identifier used in output and in
+	// //uopvet:ignore <name> suppressions.
+	Name string
+	// Doc is a one-line description for uopvet's check listing.
+	Doc string
+	// Run inspects pass.Pkg and reports findings through pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass is one (analyzer, package) execution.
+type Pass struct {
+	// Pkg is the loaded, type-checked package under analysis.
+	Pkg *Package
+
+	check string
+	sink  *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless an //uopvet:ignore directive
+// for this check covers the position's line (same line or the line above).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.loader.suppressed(position, p.check) {
+		return
+	}
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:     position,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes every analyzer over every package and returns the surviving
+// diagnostics sorted by position (then check name) so output is stable.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Pkg: pkg, check: a.Name, sink: &diags})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}
+
+const (
+	ignoreDirective  = "//uopvet:ignore"
+	hotpathDirective = "//uopvet:hotpath"
+)
+
+// parseIgnores scans a file's comments for //uopvet:ignore directives and
+// records, per line, which checks are suppressed there. The directive
+// suppresses findings on its own line and on the line directly below, so it
+// works both trailing a statement and standing above one. Form:
+//
+//	//uopvet:ignore check1,check2 -- reason
+//
+// A missing check list suppresses every check (discouraged; spell them out).
+func parseIgnores(fset *token.FileSet, f *ast.File, into map[string]map[int][]string) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, ignoreDirective)
+			if !ok {
+				continue
+			}
+			if rest, cut := strings.CutPrefix(text, ":"); cut {
+				text = rest // tolerate //uopvet:ignore:check
+			}
+			text, _, _ = strings.Cut(text, "--") // strip the justification
+			var checks []string
+			for _, name := range strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+				checks = append(checks, name)
+			}
+			if len(checks) == 0 {
+				checks = []string{"*"}
+			}
+			pos := fset.Position(c.Pos())
+			byLine := into[pos.Filename]
+			if byLine == nil {
+				byLine = map[int][]string{}
+				into[pos.Filename] = byLine
+			}
+			byLine[pos.Line] = append(byLine[pos.Line], checks...)
+		}
+	}
+}
+
+// IsHotpath reports whether fd carries the //uopvet:hotpath directive in
+// its doc comment.
+func IsHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == hotpathDirective || strings.HasPrefix(c.Text, hotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultAnalyzers returns the production check set in reporting order.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		RuncacheSafety(DefaultFingerprintRoots),
+		StatsPath,
+		Hotpath,
+	}
+}

@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the repo's bit-determinism contract: two runs of the
+// same design point must produce byte-identical output (golden_test.go, the
+// warm-cache identity gate in CI, and every runcache blob depend on it). It
+// flags the three ways nondeterminism usually sneaks in:
+//
+//   - wall-clock reads (time.Now / time.Since) in library packages — cycle
+//     counts are the simulator's only clock; command mains may time
+//     themselves but must print to stderr,
+//   - process-global randomness (package-level math/rand functions) and
+//     environment reads (os.Getenv) in library packages, and
+//   - ranging over a map while appending to an outer slice, writing a
+//     string builder, sending on a channel, or printing — map iteration
+//     order is randomized per run, so the result depends on it unless the
+//     collected slice is sorted afterwards in the same block.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag wall-clock, global randomness, env reads, and order-dependent map iteration in simulator packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	// Command mains (cmd/, examples/) are the whitelisted boundary where
+	// wall-clock timing and env reads are legitimate — their stdout is
+	// still covered by the map-order rule.
+	library := pass.Pkg.Types.Name() != "main"
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if library {
+					checkImpureCall(pass, n)
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, f, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkImpureCall flags calls to package-level functions whose results vary
+// across processes: wall clock, environment, and the global math/rand
+// source.
+func checkImpureCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (t.Sub, r.Int63 on a seeded *rand.Rand) are fine
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "time":
+		if name == "Now" || name == "Since" {
+			pass.Reportf(call.Pos(),
+				"time.%s in a simulator package breaks bit-determinism; cycle counts are the only clock here (wall-clock timing belongs in cmd/ mains, printed to stderr)", name)
+		}
+	case "os":
+		if name == "Getenv" || name == "LookupEnv" || name == "Environ" {
+			pass.Reportf(call.Pos(),
+				"os.%s makes results depend on the host environment; thread the setting through Config so it is fingerprinted by runcache", name)
+		}
+	case "math/rand", "math/rand/v2":
+		switch name {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return // constructors over explicit seeds are deterministic
+		}
+		pass.Reportf(call.Pos(),
+			"rand.%s draws from the process-global source; use internal/rng or a seeded *rand.Rand so runs are reproducible", name)
+	}
+}
+
+// checkMapRange flags `for k := range m` loops whose body emits into an
+// order-sensitive sink. Appends into a slice declared outside the loop are
+// tolerated when a sort.* / slices.Sort* call on the same variable follows
+// in the enclosing block — the collect-then-sort idiom is the sanctioned
+// way to iterate a map deterministically.
+func checkMapRange(pass *Pass, file *ast.File, rs *ast.RangeStmt) {
+	t := pass.Pkg.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"sending on a channel while ranging over a map delivers values in randomized order; iterate sorted keys instead")
+		case *ast.CallExpr:
+			checkOrderedSink(pass, n)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				target := rootIdent(n.Lhs[i])
+				if target == nil || declaredWithin(pass, target, rs.Body) {
+					continue // loop-local accumulation is order-free
+				}
+				if sortedAfter(pass, file, rs, target) {
+					continue
+				}
+				pass.Reportf(call.Pos(),
+					"appending to %q while ranging over a map records randomized iteration order; sort %q afterwards or iterate sorted keys", target.Name, target.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkOrderedSink flags writer/printer calls inside a map-range body:
+// strings.Builder / bytes.Buffer writes and fmt printing both serialize the
+// iteration order directly into output.
+func checkOrderedSink(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "fmt" && fn.Name() != "Errorf" && fn.Name() != "Sprintf" {
+			pass.Reportf(call.Pos(),
+				"fmt.%s inside a map range prints in randomized iteration order; iterate sorted keys instead", fn.Name())
+			return
+		}
+	}
+	selInfo, ok := pass.Pkg.Info.Selections[sel]
+	if !ok || selInfo.Kind() != types.MethodVal {
+		return
+	}
+	switch sel.Sel.Name {
+	case "WriteString", "WriteByte", "WriteRune", "Write":
+	default:
+		return
+	}
+	recv := selInfo.Recv()
+	if named, ok := deref(recv).(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			path, name := obj.Pkg().Path(), obj.Name()
+			if (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer") {
+				pass.Reportf(call.Pos(),
+					"writing a %s.%s inside a map range serializes randomized iteration order; iterate sorted keys instead", path, name)
+			}
+		}
+	}
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, builtin := pass.Pkg.Info.Uses[id].(*types.Builtin)
+	return builtin
+}
+
+// rootIdent resolves the base identifier of an assignable expression
+// (x, x.f, x[i] all root at x).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether id's object is declared inside node.
+func declaredWithin(pass *Pass, id *ast.Ident, node ast.Node) bool {
+	obj := pass.Pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Pkg.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// sortedAfter reports whether, in the innermost block containing rs, a
+// statement after rs calls sort.* or slices.Sort* with target among its
+// arguments.
+func sortedAfter(pass *Pass, file *ast.File, rs *ast.RangeStmt, target *ast.Ident) bool {
+	obj := pass.Pkg.Info.Uses[target]
+	if obj == nil {
+		obj = pass.Pkg.Info.Defs[target]
+	}
+	if obj == nil {
+		return false
+	}
+	block := enclosingBlock(file, rs)
+	if block == nil {
+		return false
+	}
+	after := false
+	for _, st := range block.List {
+		if st == ast.Stmt(rs) {
+			after = true
+			continue
+		}
+		if !after {
+			continue
+		}
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id := rootIdent(arg); id != nil && pass.Pkg.Info.Uses[id] == obj {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingBlock finds the block whose statement list directly contains
+// stmt (each statement has exactly one).
+func enclosingBlock(file *ast.File, stmt ast.Stmt) *ast.BlockStmt {
+	var found *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		b, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for _, st := range b.List {
+			if st == stmt {
+				found = b
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

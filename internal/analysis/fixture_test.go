@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader hands every test one loader so the standard library is
+// type-checked once per test process.
+var (
+	loaderOnce sync.Once
+	loaderInst *Loader
+	loaderErr  error
+)
+
+func repoLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loaderInst, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatal(loaderErr)
+	}
+	return loaderInst
+}
+
+// wantRE pulls backtick-delimited regexes out of a `// want` comment.
+var wantRE = regexp.MustCompile("`([^`]+)`")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// runFixture loads testdata/src/<dir>, runs the analyzers, and matches
+// every diagnostic against the fixture's `// want` comments: each want must
+// be hit by exactly one diagnostic on its line, and no diagnostic may be
+// unexpected. This is the expectation-matching harness the fixture corpus
+// is written against.
+func runFixture(t *testing.T, dir string, analyzers ...*Analyzer) []*Package {
+	t.Helper()
+	l := repoLoader(t)
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					specs := wantRE.FindAllStringSubmatch(c.Text[idx:], -1)
+					if len(specs) == 0 {
+						t.Errorf("%s:%d: want comment without a backquoted pattern", pos.Filename, pos.Line)
+						continue
+					}
+					for _, m := range specs {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+
+	diags := Run(pkgs, analyzers)
+outer:
+	for _, d := range diags {
+		for _, w := range wants {
+			if !w.matched && w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				continue outer
+			}
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want `%s`", w.file, w.line, w.re)
+		}
+	}
+	return pkgs
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	runFixture(t, "determfix", Determinism)
+}
+
+func TestRuncacheSafetyFixture(t *testing.T) {
+	l := repoLoader(t)
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", "rcfix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := l.importPathFor(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := []TypeRoot{
+		{PkgPath: path, TypeName: "Config"},
+		{PkgPath: path, TypeName: "Profile"},
+	}
+	runFixture(t, "rcfix", RuncacheSafety(roots))
+}
+
+func TestStatsPathFixture(t *testing.T) {
+	runFixture(t, "statsfix", StatsPath)
+}
+
+func TestHotpathFixture(t *testing.T) {
+	runFixture(t, "hotfix", Hotpath)
+}
+
+// TestFixturesAreRealistic guards the corpus itself: each fixture package
+// must produce at least one finding for its analyzer (an empty corpus would
+// silently stop testing anything).
+func TestFixturesAreRealistic(t *testing.T) {
+	l := repoLoader(t)
+	for _, tc := range []struct {
+		dir string
+		min int
+	}{
+		{"determfix", 5}, {"rcfix", 5}, {"statsfix", 4}, {"hotfix", 5},
+	} {
+		abs, err := filepath.Abs(filepath.Join("testdata", "src", tc.dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs, err := l.Load(abs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := pkgs[0].Path
+		analyzers := []*Analyzer{Determinism, StatsPath, Hotpath,
+			RuncacheSafety([]TypeRoot{{PkgPath: path, TypeName: "Config"}, {PkgPath: path, TypeName: "Profile"}})}
+		if n := len(Run(pkgs, analyzers)); n < tc.min {
+			t.Errorf("%s: expected at least %d findings, got %d", tc.dir, tc.min, n)
+		}
+	}
+}
+
+// TestSuppressionIsCheckScoped verifies an ignore directive for one check
+// does not swallow another check's finding on the same line.
+func TestSuppressionIsCheckScoped(t *testing.T) {
+	l := repoLoader(t)
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", "determfix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fake analyzer reporting exactly on the lines carrying
+	// `//uopvet:ignore determinism` must still fire: suppression is scoped
+	// to the named check, and a determinism finding there stays silent.
+	fake := &Analyzer{Name: "fake", Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if strings.Contains(c.Text, "uopvet:ignore determinism") {
+						pass.Reportf(c.Pos(), "fires despite a determinism ignore on this line")
+					}
+				}
+			}
+		}
+	}}
+	diags := Run(pkgs, []*Analyzer{fake})
+	if len(diags) != 2 {
+		t.Fatalf("fake analyzer: expected 2 diagnostics (one per determinism ignore), got %d: %v", len(diags), diags)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "x.go", Line: 3, Col: 7, Check: "determinism", Message: "m"}
+	if got, want := d.String(), "x.go:3:7: determinism: m"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

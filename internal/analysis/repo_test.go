@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the gate behind CI's uopvet job: the default analyzer
+// set over every package in the repository must report nothing. A failure
+// here reads exactly like the uopvet CLI output.
+func TestRepoIsClean(t *testing.T) {
+	l := repoLoader(t)
+	pkgs, err := l.Load(l.Root + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages from %s; pattern expansion is broken", len(pkgs), l.Root)
+	}
+	for _, d := range Run(pkgs, DefaultAnalyzers()) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestFingerprintRootsExist pins the default roots to real types, so a
+// rename of pipeline.Config or workload.Profile cannot silently turn the
+// runcachesafe analyzer into a no-op.
+func TestFingerprintRootsExist(t *testing.T) {
+	l := repoLoader(t)
+	for _, root := range DefaultFingerprintRoots {
+		rel := strings.TrimPrefix(root.PkgPath, l.Module+"/")
+		pkgs, err := l.Load(filepath.Join(l.Root, filepath.FromSlash(rel)))
+		if err != nil {
+			t.Fatalf("%s: %v", root.PkgPath, err)
+		}
+		if pkgs[0].Types.Scope().Lookup(root.TypeName) == nil {
+			t.Errorf("%s.%s: fingerprint root type not found", root.PkgPath, root.TypeName)
+		}
+	}
+}
+
+// TestMutationsCaught builds a scratch module containing exactly the two
+// regressions the acceptance criteria name — a time.Now() call in a
+// simulator package and a map field on a fingerprinted Config — and
+// verifies the analyzers turn both into diagnostics. This is the
+// end-to-end "uopvet exits non-zero" guarantee, minus the process spawn.
+func TestMutationsCaught(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("internal/pipeline/pipeline.go", `package pipeline
+
+import "time"
+
+type Config struct {
+	Width int
+	Bad   map[string]int
+}
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(root + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := []*Analyzer{
+		Determinism,
+		RuncacheSafety([]TypeRoot{{PkgPath: "scratch/internal/pipeline", TypeName: "Config"}}),
+	}
+	diags := Run(pkgs, analyzers)
+	var gotTime, gotMap bool
+	for _, d := range diags {
+		if d.Check == "determinism" && strings.Contains(d.Message, "time.Now") {
+			gotTime = true
+		}
+		if d.Check == "runcachesafe" && strings.Contains(d.Message, "pipeline.Config.Bad") {
+			gotMap = true
+		}
+	}
+	if !gotTime || !gotMap {
+		t.Fatalf("mutations not caught (time.Now=%v, map field=%v); diagnostics: %v", gotTime, gotMap, diags)
+	}
+}
+
+// TestLoaderRejectsOutsideModule pins the error path for patterns escaping
+// the module root.
+func TestLoaderRejectsOutsideModule(t *testing.T) {
+	l := repoLoader(t)
+	if _, err := l.Load(filepath.Dir(l.Root)); err == nil {
+		t.Fatal("loading a directory outside the module root should fail")
+	}
+}

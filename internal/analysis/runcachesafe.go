@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+)
+
+// TypeRoot names one struct type whose full field tree must stay
+// fingerprintable by internal/runcache.
+type TypeRoot struct {
+	// PkgPath is the import path of the package declaring the type.
+	PkgPath string
+	// TypeName is the declared struct type name.
+	TypeName string
+}
+
+// DefaultFingerprintRoots are the types internal/runcache feeds to Key():
+// every design-point fingerprint hashes pipeline.Config and
+// workload.Profile, so an unfingerprintable field on either silently
+// poisons the run cache.
+var DefaultFingerprintRoots = []TypeRoot{
+	{PkgPath: "uopsim/internal/pipeline", TypeName: "Config"},
+	{PkgPath: "uopsim/internal/workload", TypeName: "Profile"},
+}
+
+// RuncacheSafety builds the runcache-safety analyzer for the given roots.
+// It statically walks each root's field tree — through named types, nested
+// structs, pointers, slices, and arrays, exactly the kinds
+// internal/runcache/canon.go accepts — and flags any field whose kind the
+// canonicalizer rejects (map, func, chan, interface, complex,
+// unsafe.Pointer). canon.go catches these at run time with an error per
+// design point; this catches them at lint time, at the field declaration.
+func RuncacheSafety(roots []TypeRoot) *Analyzer {
+	return &Analyzer{
+		Name: "runcachesafe",
+		Doc:  "flag fields of fingerprinted config structs whose kind runcache's canonicalizer rejects",
+		Run: func(pass *Pass) {
+			for _, root := range roots {
+				if pass.Pkg.Path != root.PkgPath {
+					continue
+				}
+				obj := pass.Pkg.Types.Scope().Lookup(root.TypeName)
+				if obj == nil {
+					pass.Reportf(token.NoPos, "fingerprint root %s.%s not found", root.PkgPath, root.TypeName)
+					continue
+				}
+				w := &fpWalker{pass: pass, seen: map[types.Type]bool{}}
+				w.walk(obj.Type(), fmt.Sprintf("%s.%s", pass.Pkg.Types.Name(), root.TypeName), obj.Pos())
+			}
+		},
+	}
+}
+
+// fpWalker recursively validates a type tree against the kinds
+// runcache.appendCanon encodes.
+type fpWalker struct {
+	pass *Pass
+	seen map[types.Type]bool
+}
+
+func (w *fpWalker) walk(t types.Type, path string, pos token.Pos) {
+	if w.seen[t] {
+		return
+	}
+	w.seen[t] = true
+	defer delete(w.seen, t) // only guard against cycles, not shared subtrees
+
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Bool,
+			types.Int, types.Int8, types.Int16, types.Int32, types.Int64,
+			types.Uint, types.Uint8, types.Uint16, types.Uint32, types.Uint64, types.Uintptr,
+			types.Float32, types.Float64,
+			types.String:
+			return
+		}
+		w.report(pos, path, t, "kind has no canonical encoding")
+	case *types.Pointer:
+		w.walk(u.Elem(), path, pos)
+	case *types.Slice:
+		w.walk(u.Elem(), path+"[]", pos)
+	case *types.Array:
+		w.walk(u.Elem(), path+"[]", pos)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			w.walk(f.Type(), path+"."+f.Name(), f.Pos())
+		}
+	case *types.Map:
+		w.report(pos, path, t, "map iteration order is random, so its encoding would differ run to run")
+	case *types.Chan:
+		w.report(pos, path, t, "a channel carries no encodable value")
+	case *types.Signature:
+		w.report(pos, path, t, "a func value carries no encodable value")
+	case *types.Interface:
+		w.report(pos, path, t, "the dynamic type behind an interface is invisible to the canonicalizer")
+	default:
+		w.report(pos, path, t, "kind has no canonical encoding")
+	}
+}
+
+func (w *fpWalker) report(pos token.Pos, path string, t types.Type, why string) {
+	w.pass.Reportf(pos,
+		"%s (%s) cannot be fingerprinted by internal/runcache: %s; every design point touching it would fail Key(), so use an encodable kind or move it off the config", path, t, why)
+}

@@ -1,0 +1,99 @@
+// Package determfix is uopvet fixture corpus for the determinism analyzer:
+// each flagged line carries a `// want` expectation, and the suppressed
+// cases prove //uopvet:ignore works.
+package determfix
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Elapsed reads the wall clock, which the simulator must never do.
+func Elapsed(start time.Time) float64 {
+	now := time.Now() // want `time\.Now in a simulator package breaks bit-determinism`
+	return now.Sub(start).Seconds()
+}
+
+// SinceStart is the time.Since variant of the same bug.
+func SinceStart(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in a simulator package`
+}
+
+// IgnoredElapsed is the suppressed case.
+func IgnoredElapsed() time.Time {
+	return time.Now() //uopvet:ignore determinism -- fixture: suppressed case
+}
+
+// EnvTuned reads host state into a result path.
+func EnvTuned() string {
+	return os.Getenv("UOPSIM_TUNE") // want `os\.Getenv makes results depend on the host environment`
+}
+
+// GlobalRand draws from the process-global source.
+func GlobalRand() int {
+	return rand.Intn(8) // want `rand\.Intn draws from the process-global source`
+}
+
+// SeededRand is fine: explicit seed, local source.
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// CollectUnsorted records map iteration order into a slice.
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appending to "keys" while ranging over a map`
+	}
+	return keys
+}
+
+// CollectSorted is the sanctioned collect-then-sort idiom.
+func CollectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CollectLocal accumulates into a loop-local slice, which is order-free.
+func CollectLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var acc []int
+		acc = append(acc, vs...)
+		total += len(acc)
+	}
+	return total
+}
+
+// RenderUnsorted serializes map order into a builder and a writer.
+func RenderUnsorted(m map[string]int, sb *strings.Builder) {
+	for k, v := range m {
+		sb.WriteString(k)                       // want `writing a strings\.Builder inside a map range`
+		fmt.Fprintf(os.Stdout, "%s=%d\n", k, v) // want `fmt\.Fprintf inside a map range prints in randomized iteration order`
+	}
+}
+
+// SendAll delivers map values in randomized order.
+func SendAll(m map[string]int, ch chan<- int) {
+	for _, v := range m {
+		ch <- v // want `sending on a channel while ranging over a map`
+	}
+}
+
+// IgnoredRange is the suppressed map-range case.
+func IgnoredRange(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //uopvet:ignore determinism -- fixture: caller sorts
+	}
+	return keys
+}

@@ -1,0 +1,70 @@
+// Package hotfix is uopvet fixture corpus for the hotpath analyzer: only
+// functions carrying //uopvet:hotpath are checked.
+package hotfix
+
+import "fmt"
+
+type item struct{ id int }
+
+// HotSprintf formats on a hot path.
+//
+//uopvet:hotpath
+func HotSprintf(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `fmt\.Sprintf allocates on every call`
+}
+
+// HotConcat grows a string per iteration.
+//
+//uopvet:hotpath
+func HotConcat(names []string) string {
+	out := ""
+	for _, n := range names {
+		out += n // want `string \+= in a loop inside hot function HotConcat`
+	}
+	return out
+}
+
+// HotConcatExpr concatenates inside the loop body expression.
+//
+//uopvet:hotpath
+func HotConcatExpr(names []string) []string {
+	res := make([]string, 0, len(names))
+	for _, n := range names {
+		res = append(res, "x"+n) // want `string concatenation in a loop inside hot function HotConcatExpr`
+	}
+	return res
+}
+
+// HotCompositeAppend appends fresh composite literals per iteration.
+//
+//uopvet:hotpath
+func HotCompositeAppend(ids []int) []item {
+	var out []item
+	for _, id := range ids {
+		out = append(out, item{id: id}) // want `appending a composite literal in a loop inside hot function HotCompositeAppend`
+	}
+	return out
+}
+
+// HotPtrComposite heap-allocates per iteration.
+//
+//uopvet:hotpath
+func HotPtrComposite(ids []int) []*item {
+	var out []*item
+	for _, id := range ids {
+		out = append(out, &item{id: id}) // want `&composite literal in a loop inside hot function HotPtrComposite`
+	}
+	return out
+}
+
+// ColdSprintf has no directive, so the same body reports nothing.
+func ColdSprintf(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+// HotIgnored is the suppressed case.
+//
+//uopvet:hotpath
+func HotIgnored(n int) string {
+	return fmt.Sprintf("n=%d", n) //uopvet:ignore hotpath -- fixture: suppressed case
+}

@@ -1,0 +1,36 @@
+// Package rcfix is uopvet fixture corpus for the runcachesafe analyzer:
+// Config and Profile stand in for pipeline.Config / workload.Profile as
+// fingerprint roots (the test wires them up explicitly).
+package rcfix
+
+// Config mixes every kind the canonicalizer accepts with every kind it
+// rejects.
+type Config struct {
+	Width  int
+	Name   string
+	Scale  float64
+	Flags  [4]bool
+	Ratios []float64
+	Sub    SubConfig
+	Ptr    *SubConfig
+	Tags   map[string]int // want `rcfix\.Config\.Tags \(map\[string\]int\) cannot be fingerprinted.*map iteration order is random`
+	Notify chan int       // want `rcfix\.Config\.Notify .* a channel carries no encodable value`
+	Hook   func() int     // want `rcfix\.Config\.Hook .* a func value carries no encodable value`
+	Any    any            // want `rcfix\.Config\.Any .* dynamic type behind an interface`
+}
+
+// SubConfig is reached twice (by value and by pointer), so its bad field
+// reports once per path — mirroring how canon.go names each offending field
+// chain.
+type SubConfig struct {
+	Depth   int
+	Weights [4]float64
+	Bad     complex128 // want `rcfix\.Config\.Sub\.Bad` `rcfix\.Config\.Ptr\.Bad`
+}
+
+// Profile is the suppressed case: the directive on the field line silences
+// the finding.
+type Profile struct {
+	Seed  uint64
+	Scale map[string]float64 //uopvet:ignore runcachesafe -- fixture: suppressed case
+}

@@ -1,0 +1,25 @@
+// Package statsfix is uopvet fixture corpus for the statspath analyzer: it
+// registers against the real uopsim/internal/stats types so method
+// resolution works exactly as in the simulator packages.
+package statsfix
+
+import "uopsim/internal/stats"
+
+// Register exercises the grammar and duplicate rules.
+func Register(r *stats.Registry) {
+	r.Counter("good.path_1")
+	r.Counter("Bad.Path") // want `metric path "Bad\.Path" does not match the lowercase dotted-path grammar`
+	sc := r.Scope("oc")
+	sc.RegisterGauge("hit rate", func() float64 { return 0 }) // want `metric path "hit rate" does not match`
+	sc.Counter("hits")
+	sc.Counter("hits") // want `metric path "hits" is registered twice on sc`
+	other := r.Scope("lc")
+	other.Counter("hits")  // same literal, different receiver: distinct full path
+	r.Counter("trailing.") // want `metric path "trailing\." does not match`
+	r.Counter("UPPER")     //uopvet:ignore statspath -- fixture: suppressed case
+}
+
+// Lookup exercises the grammar rule on snapshot reads.
+func Lookup(s stats.Snapshot) float64 {
+	return s.Value("oc.hit_rate") + s.Value("..broken") // want `metric path "\.\.broken" does not match`
+}

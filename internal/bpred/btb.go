@@ -50,6 +50,8 @@ const lineShift = 6 // 64B lines
 // lookup returns all entries tagged with lineAddr (a line with many branches
 // can occupy several ways, each holding up to two branches), refreshing LRU.
 // The returned slice is reused by the next lookup on this level.
+//
+//uopvet:hotpath
 func (l *btbLevel) lookup(lineAddr uint64) []*btbEntry {
 	set := int(lineAddr>>lineShift) & (l.sets - 1)
 	base := set * l.ways

@@ -85,7 +85,11 @@ func (m *counters) register(r *stats.Registry) {
 	r.RegisterCounter("uopq.empty.stalls", &m.stallEmptyUQ)
 }
 
-// step advances the machine one cycle.
+// step advances the machine one cycle. It runs once per simulated cycle
+// for every design point, so it must stay allocation-free (see
+// TestCycleLoopAllocations).
+//
+//uopvet:hotpath
 func (s *Sim) step() {
 	c := s.cycle
 	s.be.Tick(c)

@@ -403,6 +403,7 @@ func (s *Sim) pwClear() {
 // copied into the uop queue when the group drains, so the slice can be reused
 // the moment popGroup returns.
 
+//uopvet:hotpath
 func (s *Sim) getItems() []fItem {
 	if n := len(s.itemFree); n > 0 {
 		it := s.itemFree[n-1]
@@ -412,6 +413,7 @@ func (s *Sim) getItems() []fItem {
 	return make([]fItem, 0, 8)
 }
 
+//uopvet:hotpath
 func (s *Sim) putItems(items []fItem) {
 	if cap(items) == 0 {
 		return

@@ -147,7 +147,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "[%s completed in %.1fs]\n", id, time.Since(start).Seconds())
 	}
 	if *metricsOut != "" {
-		if err := writeSnapshots(*metricsOut, collected); err != nil {
+		if err := writeSnapshots(*metricsOut, collected, params.Engine); err != nil {
 			fmt.Fprintln(os.Stderr, "uopexp:", err)
 			return 1
 		}
@@ -169,9 +169,17 @@ type runSnapshot struct {
 	Snapshot uopsim.StatsSnapshot `json:"snapshot"`
 }
 
+// metricsFile is the -metrics output shape: every run's registry snapshot
+// plus, when the engine is on, its dedupe counters in the same registry
+// snapshot form the daemon's /metrics endpoint exposes.
+type metricsFile struct {
+	Runs   []runSnapshot         `json:"runs"`
+	Engine *uopsim.StatsSnapshot `json:"engine,omitempty"`
+}
+
 // writeSnapshots dumps the collected snapshots sorted by run identity so the
 // output is stable across scheduling orders.
-func writeSnapshots(path string, runs []runSnapshot) error {
+func writeSnapshots(path string, runs []runSnapshot, eng *uopsim.RunEngine) error {
 	sort.Slice(runs, func(i, j int) bool {
 		a, b := runs[i], runs[j]
 		if a.Workload != b.Workload {
@@ -182,13 +190,18 @@ func writeSnapshots(path string, runs []runSnapshot) error {
 		}
 		return a.Capacity < b.Capacity
 	})
+	out := metricsFile{Runs: runs}
+	if eng != nil {
+		snap := eng.StatsSnapshot()
+		out.Engine = &snap
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(runs); err != nil {
+	if err := enc.Encode(out); err != nil {
 		f.Close()
 		return err
 	}

@@ -109,6 +109,14 @@ func TestDeterminismFixture(t *testing.T) {
 	runFixture(t, "determfix", Determinism)
 }
 
+// TestWallClockAllowlistFixture loads a fixture whose directory ends in
+// internal/server: its time.Now/time.Since calls carry no want
+// expectations (the allowlist admits them) while its env read and global
+// randomness still must be flagged.
+func TestWallClockAllowlistFixture(t *testing.T) {
+	runFixture(t, filepath.Join("servefix", "internal", "server"), Determinism)
+}
+
 func TestRuncacheSafetyFixture(t *testing.T) {
 	l := repoLoader(t)
 	abs, err := filepath.Abs(filepath.Join("testdata", "src", "rcfix"))

@@ -1,0 +1,28 @@
+// Package service is uopvet fixture corpus for the determinism analyzer's
+// wall-clock allowlist: this file's directory ends in internal/server, so
+// time.Now/time.Since pass without a want expectation, while environment
+// reads and global randomness stay flagged even here.
+package service
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Uptime reads the wall clock — allowed in the serving layer, where
+// deadlines and latency metrics are the job.
+func Uptime(start time.Time) time.Duration {
+	_ = time.Now()
+	return time.Since(start)
+}
+
+// Port shows the allowlist is clock-only: host environment still leaks.
+func Port() string {
+	return os.Getenv("PORT") // want `os\.Getenv makes results depend on the host environment`
+}
+
+// Jitter shows global randomness stays flagged too.
+func Jitter() int {
+	return rand.Int() // want `rand\.Int draws from the process-global source`
+}

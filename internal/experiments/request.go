@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"uopsim/internal/pipeline"
+	"uopsim/internal/runcache"
+	"uopsim/internal/workload"
+)
+
+// PointRequest is the wire form of one design point: the JSON body
+// cmd/uopsimd's /v1/simulate endpoint accepts, /v1/sweep batches, and
+// cmd/uopload replays. A point is a Table II workload plus either a named
+// scheme at a capacity or a full explicit pipeline.Config override, and
+// the run lengths. Zero values on optional fields select the experiment
+// defaults (WithDefaults), so {"workload":"bm_cc"} is a complete request.
+//
+// The request deliberately encodes exactly the inputs pointFingerprint
+// covers, so a point simulated by a uopexp sweep and the same point asked
+// of the daemon share one fingerprint — and therefore one cache blob.
+type PointRequest struct {
+	// Workload names the Table II workload profile.
+	Workload string `json:"workload"`
+	// Scheme names a paper design point (baseline, CLASP, RAC, PWAC,
+	// F-PWAC; case-insensitive). Ignored when Config is set.
+	Scheme string `json:"scheme,omitempty"`
+	// Capacity is the uop cache capacity in uops (scheme form only).
+	Capacity int `json:"capacity,omitempty"`
+	// MaxEntries bounds compacted entries per line (scheme form only).
+	MaxEntries int `json:"max_entries,omitempty"`
+	// Warmup and Measure are the run lengths in instructions.
+	Warmup  uint64 `json:"warmup,omitempty"`
+	Measure uint64 `json:"measure,omitempty"`
+	// Config, when set, is the complete machine configuration and wins
+	// over Scheme/Capacity/MaxEntries.
+	Config *pipeline.Config `json:"config,omitempty"`
+}
+
+// WithDefaults fills unset optional fields with the experiment defaults:
+// baseline scheme, 2048-uop capacity, 2 entries per line, and the standard
+// warmup/measure lengths.
+func (r PointRequest) WithDefaults() PointRequest {
+	if r.Scheme == "" {
+		r.Scheme = "baseline"
+	}
+	if r.Capacity == 0 {
+		r.Capacity = 2048
+	}
+	if r.MaxEntries < 2 {
+		r.MaxEntries = 2
+	}
+	p := Params{WarmupInsts: r.Warmup, MeasureInsts: r.Measure}.withDefaults()
+	r.Warmup, r.Measure = p.WarmupInsts, p.MeasureInsts
+	return r
+}
+
+// Validate reports whether the request names a runnable design point.
+// Call it on the WithDefaults form; resource caps (run-length ceilings,
+// batch sizes) are the server's policy, not part of point validity.
+func (r PointRequest) Validate() error {
+	if r.Workload == "" {
+		return fmt.Errorf("experiments: request needs a workload (one of %s)",
+			strings.Join(workload.Names(), ", "))
+	}
+	if _, err := workload.ByName(r.Workload); err != nil {
+		return err
+	}
+	if r.Measure == 0 {
+		return fmt.Errorf("experiments: request needs a measure length")
+	}
+	_, err := r.BuildConfig()
+	return err
+}
+
+// scheme resolves the named scheme against the paper's design points at
+// the request's entries-per-line bound.
+func (r PointRequest) scheme() (Scheme, bool) {
+	for _, sc := range Schemes(r.MaxEntries) {
+		if strings.EqualFold(sc.Name, r.Scheme) {
+			return sc, true
+		}
+	}
+	return Scheme{}, false
+}
+
+// BuildConfig resolves the request's machine configuration: the explicit
+// Config override when present, otherwise the named scheme configured at
+// the requested capacity. Either form is validated.
+func (r PointRequest) BuildConfig() (pipeline.Config, error) {
+	if r.Config != nil {
+		if err := r.Config.Validate(); err != nil {
+			return pipeline.Config{}, err
+		}
+		return *r.Config, nil
+	}
+	sc, ok := r.scheme()
+	if !ok {
+		names := make([]string, 0, 5)
+		for _, s := range Schemes(r.MaxEntries) {
+			names = append(names, s.Name)
+		}
+		return pipeline.Config{}, fmt.Errorf("experiments: unknown scheme %q (valid: %s)",
+			r.Scheme, strings.Join(names, ", "))
+	}
+	if r.Capacity <= 0 {
+		return pipeline.Config{}, fmt.Errorf("experiments: capacity must be positive, got %d", r.Capacity)
+	}
+	cfg := sc.Configure(r.Capacity)
+	if err := cfg.Validate(); err != nil {
+		return pipeline.Config{}, err
+	}
+	return cfg, nil
+}
+
+// params carries the request's run lengths in the shape the fingerprint
+// and simulation helpers expect.
+func (r PointRequest) params() Params {
+	return Params{WarmupInsts: r.Warmup, MeasureInsts: r.Measure}
+}
+
+// Fingerprint is the request's design-point identity: identical to the
+// fingerprint a sweep submits for the same (workload, config, lengths).
+func (r PointRequest) Fingerprint() (runcache.Fingerprint, error) {
+	prof, err := workload.ByName(r.Workload)
+	if err != nil {
+		return "", err
+	}
+	cfg, err := r.BuildConfig()
+	if err != nil {
+		return "", err
+	}
+	return pointFingerprint(r.params(), prof, cfg)
+}
+
+// Resolve computes the point through eng — deduped against every other
+// submitter and, with a cache directory attached, against disk — or
+// directly when eng is nil, reporting how the result was obtained.
+func (r PointRequest) Resolve(eng *Engine) (PointResult, runcache.Resolution, error) {
+	cfg, err := r.BuildConfig()
+	if err != nil {
+		return PointResult{}, ResolvedCompute, err
+	}
+	if eng == nil {
+		res, err := simulatePoint(r.params(), r.Workload, cfg)
+		return res, ResolvedCompute, err
+	}
+	prof, err := workload.ByName(r.Workload)
+	if err != nil {
+		return PointResult{}, ResolvedCompute, err
+	}
+	fp, err := pointFingerprint(r.params(), prof, cfg)
+	if err != nil {
+		return PointResult{}, ResolvedCompute, err
+	}
+	return eng.DoResolved(fp, func() (PointResult, error) {
+		return simulatePoint(r.params(), r.Workload, cfg)
+	})
+}
+
+// ResolvedCompute re-exports the direct-simulation resolution for callers
+// that hold a PointRequest but no engine.
+const ResolvedCompute = runcache.ResolvedCompute
+
+// RequestForPoint converts one batch-API design point (the RunPoints
+// shape) into its wire form, carrying the run lengths from p. Points whose
+// Scheme a Schemes() entry reproduces travel in the compact named form; a
+// custom Scheme struct is carried as an explicit Config override so the
+// fingerprint — and thus the dedupe — is preserved exactly.
+func RequestForPoint(pt Point, p Params) PointRequest {
+	p = p.withDefaults()
+	req := PointRequest{
+		Workload:   pt.Workload,
+		Scheme:     pt.Scheme.Name,
+		Capacity:   pt.Capacity,
+		MaxEntries: pt.Scheme.MaxEntriesPerLine,
+		Warmup:     p.WarmupInsts,
+		Measure:    p.MeasureInsts,
+	}
+	if sc, ok := req.WithDefaults().scheme(); !ok || sc != pt.Scheme {
+		cfg := pt.Scheme.Configure(pt.Capacity)
+		req.Config = &cfg
+	}
+	return req
+}

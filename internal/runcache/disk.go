@@ -48,6 +48,16 @@ func (d *Dir) Store(fp Fingerprint, blob []byte) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	// fsync before rename: the rename is atomic in the namespace, but only
+	// a flushed file makes the blob durable — without it a crash after the
+	// rename can publish a zero-length or torn blob under a valid
+	// fingerprint name, which the corrupt-blob path would then have to
+	// catch on every later load.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+
+	"uopsim/internal/stats"
 )
 
 // Stats counts how the engine resolved the points submitted to it. The
@@ -12,25 +14,25 @@ import (
 // evidence the experiment harness reports (and CI asserts on).
 type Stats struct {
 	// Submitted is the total number of Do calls.
-	Submitted uint64
+	Submitted uint64 `json:"submitted"`
 	// Unique is the number of distinct fingerprints submitted.
-	Unique uint64
+	Unique uint64 `json:"unique"`
 	// MemoHits counts submissions that joined an existing in-process
 	// entry (completed or still in flight).
-	MemoHits uint64
+	MemoHits uint64 `json:"memo_hits"`
 	// Simulated counts points resolved by running compute.
-	Simulated uint64
+	Simulated uint64 `json:"simulated"`
 	// DiskHits counts points resolved from a valid on-disk blob.
-	DiskHits uint64
+	DiskHits uint64 `json:"disk_hits"`
 	// DiskWrites counts blobs persisted after a simulation.
-	DiskWrites uint64
+	DiskWrites uint64 `json:"disk_writes"`
 	// BadBlobs counts on-disk entries that failed to decode or validate
 	// and were re-simulated instead of trusted.
-	BadBlobs uint64
+	BadBlobs uint64 `json:"bad_blobs"`
 	// Verified / VerifyFailed count -cache-verify re-simulations and the
 	// bit-level mismatches they caught.
-	Verified     uint64
-	VerifyFailed uint64
+	Verified     uint64 `json:"verified"`
+	VerifyFailed uint64 `json:"verify_failed"`
 }
 
 // DedupeFactor is submitted points per simulation-or-disk resolution: how
@@ -69,7 +71,37 @@ type Engine[T any] struct {
 type entry[T any] struct {
 	done chan struct{}
 	val  T
+	res  Resolution
 	err  error
+}
+
+// Resolution identifies how one DoResolved call obtained its result. A
+// long-lived service reports it per request so clients (and its load
+// generator) can measure cache effectiveness without scraping counters.
+type Resolution uint8
+
+const (
+	// ResolvedCompute means this call ran compute: the point was a miss
+	// everywhere (or a cache-verify re-simulation).
+	ResolvedCompute Resolution = iota
+	// ResolvedMemo means the call shared an in-process entry created by an
+	// earlier submission of the same fingerprint.
+	ResolvedMemo
+	// ResolvedDisk means the call decoded a valid on-disk blob.
+	ResolvedDisk
+)
+
+// String names the resolution ("simulated", "memo", "disk").
+func (r Resolution) String() string {
+	switch r {
+	case ResolvedCompute:
+		return "simulated"
+	case ResolvedMemo:
+		return "memo"
+	case ResolvedDisk:
+		return "disk"
+	}
+	return "resolution?"
 }
 
 // New builds an engine with in-process memoization only.
@@ -97,37 +129,78 @@ func (e *Engine[T]) Stats() Stats {
 	return e.st
 }
 
+// RegisterStats registers the engine's resolution counters as gauges under
+// sc, so a metrics consumer (the uopsimd /metrics endpoint, uopexp
+// -metrics) reports cache effectiveness through the same registry pipeline
+// as every other instrument. Gauges read live engine state at snapshot
+// time under the engine's own lock. Register a given engine into a given
+// registry once; a second registration of the same paths panics.
+func (e *Engine[T]) RegisterStats(sc stats.Scope) {
+	counter := func(name string, read func(Stats) uint64) {
+		sc.RegisterGauge(name, func() float64 { return float64(read(e.Stats())) })
+	}
+	counter("submitted", func(s Stats) uint64 { return s.Submitted })
+	counter("unique", func(s Stats) uint64 { return s.Unique })
+	counter("memo_hits", func(s Stats) uint64 { return s.MemoHits })
+	counter("simulated", func(s Stats) uint64 { return s.Simulated })
+	counter("disk_hits", func(s Stats) uint64 { return s.DiskHits })
+	counter("disk_writes", func(s Stats) uint64 { return s.DiskWrites })
+	counter("bad_blobs", func(s Stats) uint64 { return s.BadBlobs })
+	counter("verified", func(s Stats) uint64 { return s.Verified })
+	counter("verify_failed", func(s Stats) uint64 { return s.VerifyFailed })
+	sc.RegisterGauge("dedupe_factor", func() float64 { return e.Stats().DedupeFactor() })
+}
+
+// StatsSnapshot returns the engine's counters as a stable-ordered snapshot
+// under the "runcache." prefix — the same shape RegisterStats mounts into
+// a long-lived registry, for callers that want a one-shot dump.
+func (e *Engine[T]) StatsSnapshot() stats.Snapshot {
+	r := stats.NewRegistry()
+	e.RegisterStats(r.Scope("runcache"))
+	return r.Snapshot()
+}
+
 // Do resolves the design point at fp, running compute at most once per
 // fingerprint per process. Safe for concurrent use.
 func (e *Engine[T]) Do(fp Fingerprint, compute func() (T, error)) (T, error) {
+	v, _, err := e.DoResolved(fp, compute)
+	return v, err
+}
+
+// DoResolved is Do plus how: whether this call computed, joined an
+// in-process entry, or was served from disk. Duplicate submissions of an
+// entry report ResolvedMemo regardless of how its first submitter
+// resolved it.
+func (e *Engine[T]) DoResolved(fp Fingerprint, compute func() (T, error)) (T, Resolution, error) {
 	e.mu.Lock()
 	e.st.Submitted++
 	if en, ok := e.entries[fp]; ok {
 		e.st.MemoHits++
 		e.mu.Unlock()
 		<-en.done
-		return en.val, en.err
+		return en.val, ResolvedMemo, en.err
 	}
 	en := &entry[T]{done: make(chan struct{})}
 	e.entries[fp] = en
 	e.st.Unique++
 	e.mu.Unlock()
 
-	en.val, en.err = e.resolve(fp, compute)
+	en.val, en.res, en.err = e.resolve(fp, compute)
 	close(en.done)
-	return en.val, en.err
+	return en.val, en.res, en.err
 }
 
-func (e *Engine[T]) resolve(fp Fingerprint, compute func() (T, error)) (T, error) {
+func (e *Engine[T]) resolve(fp Fingerprint, compute func() (T, error)) (T, Resolution, error) {
 	if e.dir != nil {
 		if blob, ok := e.dir.Load(fp); ok {
 			var v T
 			if err := json.Unmarshal(blob, &v); err == nil && e.valid(v) {
 				if e.shouldVerify() {
-					return e.verifyAgainst(fp, blob, compute)
+					v, err := e.verifyAgainst(fp, blob, compute)
+					return v, ResolvedCompute, err
 				}
 				e.bump(&e.st.DiskHits)
-				return v, nil
+				return v, ResolvedDisk, nil
 			}
 			e.bump(&e.st.BadBlobs)
 		}
@@ -139,7 +212,7 @@ func (e *Engine[T]) resolve(fp Fingerprint, compute func() (T, error)) (T, error
 			e.bump(&e.st.DiskWrites)
 		}
 	}
-	return v, err
+	return v, ResolvedCompute, err
 }
 
 // verifyAgainst re-simulates a disk-cached point and diffs the fresh

@@ -308,3 +308,82 @@ func TestStatsSummary(t *testing.T) {
 		}
 	}
 }
+
+// TestDoResolved reports how each submission was satisfied: a fresh
+// fingerprint computes, a repeat is a memo hit, and a fresh engine over the
+// same directory answers from disk.
+func TestDoResolved(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := New[payload]()
+	e1.SetDir(d)
+	compute := func() (payload, error) { return payload{N: 7}, nil }
+
+	if _, how, err := e1.DoResolved("fp", compute); err != nil || how != ResolvedCompute {
+		t.Fatalf("first DoResolved = (%s, %v), want simulated", how, err)
+	}
+	if _, how, err := e1.DoResolved("fp", compute); err != nil || how != ResolvedMemo {
+		t.Fatalf("repeat DoResolved = (%s, %v), want memo", how, err)
+	}
+
+	e2 := New[payload]()
+	e2.SetDir(d)
+	if _, how, err := e2.DoResolved("fp", compute); err != nil || how != ResolvedDisk {
+		t.Fatalf("fresh-engine DoResolved = (%s, %v), want disk", how, err)
+	}
+	// The disk-loaded entry memoizes like any other.
+	if _, how, err := e2.DoResolved("fp", compute); err != nil || how != ResolvedMemo {
+		t.Fatalf("post-disk DoResolved = (%s, %v), want memo", how, err)
+	}
+}
+
+// TestResolutionStrings pins the wire labels /v1/simulate reports.
+func TestResolutionStrings(t *testing.T) {
+	for res, want := range map[Resolution]string{
+		ResolvedCompute: "simulated",
+		ResolvedMemo:    "memo",
+		ResolvedDisk:    "disk",
+	} {
+		if got := res.String(); got != want {
+			t.Errorf("Resolution(%d).String() = %q, want %q", res, got, want)
+		}
+	}
+}
+
+// TestStatsSnapshot checks the registry bridge: every engine counter is
+// published under the runcache scope with its JSON-tag name, and the
+// dedupe factor derives from them.
+func TestStatsSnapshot(t *testing.T) {
+	e := New[payload]()
+	compute := func() (payload, error) { return payload{N: 1}, nil }
+	for i := 0; i < 3; i++ {
+		if _, err := e.Do("fp", compute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := e.StatsSnapshot()
+	vals := map[string]float64{}
+	for _, s := range snap.Samples {
+		vals[s.Path] = s.Value
+	}
+	for path, want := range map[string]float64{
+		"runcache.submitted":     3,
+		"runcache.unique":        1,
+		"runcache.memo_hits":     2,
+		"runcache.simulated":     1,
+		"runcache.disk_hits":     0,
+		"runcache.dedupe_factor": 3,
+	} {
+		got, ok := vals[path]
+		if !ok {
+			t.Errorf("snapshot missing %s (have %v)", path, vals)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client speaks the daemon's HTTP API. The zero HTTP field uses
+// http.DefaultClient; sweeps stream, so set generous (or no) client
+// timeouts and bound the work with the request's timeout_ms instead.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient points a client at a daemon base URL such as
+// "http://localhost:8077".
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// StatusError is any non-2xx daemon answer, carrying the backpressure
+// metadata a load generator needs (the Retry-After hint on 429s).
+type StatusError struct {
+	Code       int
+	RetryAfter time.Duration
+	Message    string
+}
+
+func (e *StatusError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("server: HTTP %d: %s", e.Code, e.Message)
+	}
+	return fmt.Sprintf("server: HTTP %d", e.Code)
+}
+
+// statusError decodes a non-2xx response into a StatusError.
+func statusError(resp *http.Response) *StatusError {
+	se := &StatusError{Code: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var eb errorBody
+	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+		se.Message = eb.Error
+	} else {
+		se.Message = strings.TrimSpace(string(body))
+	}
+	return se
+}
+
+func (c *Client) postJSON(path string, body any) (*http.Response, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+path, bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.httpClient().Do(req)
+}
+
+// Simulate resolves one point. Non-2xx answers come back as *StatusError
+// so callers can switch on Code (429 → honor RetryAfter and retry).
+func (c *Client) Simulate(req SimulateRequest) (*SimulateResponse, error) {
+	resp, err := c.postJSON("/v1/simulate", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp)
+	}
+	var out SimulateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("server: decoding simulate response: %w", err)
+	}
+	return &out, nil
+}
+
+// Sweep streams a batch through /v1/sweep, invoking fn for every NDJSON
+// line as it arrives (completion order, not request order — use Index).
+// A non-nil fn error stops the stream and is returned.
+func (c *Client) Sweep(req SweepRequest, fn func(SweepLine) error) error {
+	resp, err := c.postJSON("/v1/sweep", req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20) // result lines carry full snapshots
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var sl SweepLine
+		if err := json.Unmarshal(line, &sl); err != nil {
+			return fmt.Errorf("server: decoding sweep line: %w", err)
+		}
+		if err := fn(sl); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Stats fetches /v1/stats.
+func (c *Client) Stats() (*StatsResponse, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp)
+	}
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("server: decoding stats response: %w", err)
+	}
+	return &out, nil
+}
+
+// Healthz reports whether the daemon answers 200 on /healthz.
+func (c *Client) Healthz() error {
+	resp, err := c.httpClient().Get(c.BaseURL + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}

@@ -1,0 +1,292 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"uopsim/internal/experiments"
+)
+
+// LoadConfig shapes one load run: Requests total requests drawn (with a
+// seeded shuffle) from a pool of Unique distinct design points, issued by
+// Concurrency client goroutines, optionally paced to RPS. 429 answers are
+// retried up to Retries times, honoring the server's Retry-After hint
+// (capped by RetryDelay when set, so tests and CI need not sleep for the
+// server's worst-case estimate).
+type LoadConfig struct {
+	Requests    int
+	Unique      int
+	Concurrency int
+	// RPS, when positive, paces issuance; 0 issues as fast as the
+	// concurrency allows (the saturation mode that exercises 429s).
+	RPS int
+	// Warmup and Measure are the per-point run lengths.
+	Warmup  uint64
+	Measure uint64
+	// Workloads and Capacities span the unique-point pool (defaults: a
+	// three-suite Table II mix; capacities 1024 and 2048).
+	Workloads  []string
+	Capacities []int
+	Seed       int64
+	// Retries bounds 429 retries per request (default 3; negative
+	// disables).
+	Retries int
+	// RetryDelay, when positive, caps the per-retry sleep regardless of
+	// the server's Retry-After hint.
+	RetryDelay time.Duration
+	// TimeoutMS is forwarded as each request's timeout_ms.
+	TimeoutMS int64
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Requests <= 0 {
+		c.Requests = 50
+	}
+	if c.Unique <= 0 {
+		c.Unique = 10
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Measure == 0 {
+		c.Warmup, c.Measure = 2_000, 10_000
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = []string{"bm_cc", "redis", "jvm"}
+	}
+	if len(c.Capacities) == 0 {
+		c.Capacities = []int{1024, 2048}
+	}
+	if c.Retries == 0 {
+		c.Retries = 3
+	}
+	return c
+}
+
+// points builds the unique design-point pool: schemes × workloads ×
+// capacities in a fixed order, truncated to Unique.
+func (c LoadConfig) points() []experiments.PointRequest {
+	var pts []experiments.PointRequest
+	for _, cap := range c.Capacities {
+		for _, wl := range c.Workloads {
+			for _, sc := range experiments.Schemes(2) {
+				pts = append(pts, experiments.PointRequest{
+					Workload: wl,
+					Scheme:   sc.Name,
+					Capacity: cap,
+					Warmup:   c.Warmup,
+					Measure:  c.Measure,
+				}.WithDefaults())
+				if len(pts) == c.Unique {
+					return pts
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// LoadReport summarizes one load run.
+type LoadReport struct {
+	Requests  int
+	OK        int
+	Failed    int
+	Status429 int
+	Retries   int
+	// Resolutions counts OK responses by how the server resolved them
+	// (simulated / memo / disk).
+	Resolutions map[string]int
+	P50, P90    time.Duration
+	P99, Max    time.Duration
+	Elapsed     time.Duration
+}
+
+// Deduped is the number of OK responses served without a fresh
+// simulation (memo joins plus disk hits).
+func (r LoadReport) Deduped() int {
+	return r.Resolutions["memo"] + r.Resolutions["disk"]
+}
+
+// String renders the stable one-line summary CI greps
+// (requests=… ok=… failed=… status429=… retries=… deduped=…), followed by
+// the latency percentiles and the per-resolution breakdown.
+func (r LoadReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests=%d ok=%d failed=%d status429=%d retries=%d deduped=%d\n",
+		r.Requests, r.OK, r.Failed, r.Status429, r.Retries, r.Deduped())
+	fmt.Fprintf(&b, "latency p50=%s p90=%s p99=%s max=%s elapsed=%s\n",
+		r.P50.Round(time.Millisecond), r.P90.Round(time.Millisecond),
+		r.P99.Round(time.Millisecond), r.Max.Round(time.Millisecond),
+		r.Elapsed.Round(time.Millisecond))
+	keys := make([]string, 0, len(r.Resolutions))
+	for k := range r.Resolutions {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "resolution %s=%d\n", k, r.Resolutions[k])
+	}
+	return b.String()
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// RunLoad replays cfg against the daemon at base via /v1/simulate: the
+// sweep-shaped mix (Requests draws over Unique points) that demonstrates
+// the engine collapsing repeats, and — unpaced against a small queue — the
+// 429/Retry-After backpressure contract.
+func RunLoad(client *Client, cfg LoadConfig) (LoadReport, error) {
+	cfg = cfg.withDefaults()
+	pool := cfg.points()
+	if len(pool) == 0 {
+		return LoadReport{}, fmt.Errorf("server: load config yields no design points")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	reqs := make([]experiments.PointRequest, cfg.Requests)
+	for i := range reqs {
+		reqs[i] = pool[i%len(pool)]
+	}
+	rng.Shuffle(len(reqs), func(i, j int) { reqs[i], reqs[j] = reqs[j], reqs[i] })
+
+	// Optional pacing: one shared ticker gate at the target rate.
+	var gate <-chan time.Time
+	var ticker *time.Ticker
+	if cfg.RPS > 0 {
+		ticker = time.NewTicker(time.Second / time.Duration(cfg.RPS))
+		defer ticker.Stop()
+		gate = ticker.C
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		report    = LoadReport{Requests: cfg.Requests, Resolutions: map[string]int{}}
+	)
+	jobs := make(chan experiments.PointRequest)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pt := range jobs {
+				if gate != nil {
+					<-gate
+				}
+				t0 := time.Now()
+				resp, retries, n429, err := simulateWithRetry(client, pt, cfg)
+				lat := time.Since(t0)
+				mu.Lock()
+				report.Retries += retries
+				report.Status429 += n429
+				if err != nil {
+					report.Failed++
+				} else {
+					report.OK++
+					report.Resolutions[resp.Resolution]++
+					latencies = append(latencies, lat)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, pt := range reqs {
+		jobs <- pt
+	}
+	close(jobs)
+	wg.Wait()
+	report.Elapsed = time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	report.P50 = percentile(latencies, 0.50)
+	report.P90 = percentile(latencies, 0.90)
+	report.P99 = percentile(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		report.Max = latencies[n-1]
+	}
+	return report, nil
+}
+
+// simulateWithRetry issues one request, retrying 429s per the config and
+// counting how often backpressure was observed.
+func simulateWithRetry(client *Client, pt experiments.PointRequest, cfg LoadConfig) (resp *SimulateResponse, retries, n429 int, err error) {
+	for attempt := 0; ; attempt++ {
+		resp, err = client.Simulate(SimulateRequest{PointRequest: pt, TimeoutMS: cfg.TimeoutMS})
+		if err == nil {
+			return resp, retries, n429, nil
+		}
+		se, ok := err.(*StatusError)
+		if !ok || se.Code != 429 {
+			return nil, retries, n429, err
+		}
+		n429++
+		if cfg.Retries < 0 || attempt >= cfg.Retries {
+			return nil, retries, n429, err
+		}
+		retries++
+		delay := se.RetryAfter
+		if delay <= 0 {
+			delay = 100 * time.Millisecond
+		}
+		if cfg.RetryDelay > 0 && delay > cfg.RetryDelay {
+			delay = cfg.RetryDelay
+		}
+		time.Sleep(delay)
+	}
+}
+
+// RunSweep replays the same mix as one /v1/sweep batch, checking the
+// stream's index integrity: every index answered exactly once.
+func RunSweep(client *Client, cfg LoadConfig) (LoadReport, error) {
+	cfg = cfg.withDefaults()
+	pool := cfg.points()
+	if len(pool) == 0 {
+		return LoadReport{}, fmt.Errorf("server: load config yields no design points")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	reqs := make([]experiments.PointRequest, cfg.Requests)
+	for i := range reqs {
+		reqs[i] = pool[i%len(pool)]
+	}
+	rng.Shuffle(len(reqs), func(i, j int) { reqs[i], reqs[j] = reqs[j], reqs[i] })
+
+	report := LoadReport{Requests: cfg.Requests, Resolutions: map[string]int{}}
+	seen := make([]bool, len(reqs))
+	start := time.Now()
+	err := client.Sweep(SweepRequest{Points: reqs, TimeoutMS: cfg.TimeoutMS}, func(line SweepLine) error {
+		if line.Index < 0 || line.Index >= len(seen) {
+			return fmt.Errorf("server: sweep answered out-of-range index %d", line.Index)
+		}
+		if seen[line.Index] {
+			return fmt.Errorf("server: sweep answered index %d twice", line.Index)
+		}
+		seen[line.Index] = true
+		if line.Error != "" {
+			report.Failed++
+			return nil
+		}
+		report.OK++
+		report.Resolutions[line.Resolution]++
+		return nil
+	})
+	report.Elapsed = time.Since(start)
+	if err != nil {
+		return report, err
+	}
+	for i, ok := range seen {
+		if !ok {
+			return report, fmt.Errorf("server: sweep never answered index %d", i)
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"uopsim/internal/experiments"
+	"uopsim/internal/stats"
+)
+
+// metrics owns the daemon's stats.Registry. Simulator registries are
+// per-Sim and single-goroutine by design; the service's instruments are
+// shared across handler goroutines, so every counter mutation and every
+// snapshot goes through one mutex (requests are milliseconds-scale — one
+// lock is nowhere near contention). Gauges read pool atomics and the
+// engine's own locked counters, so they are safe wherever Snapshot runs.
+type metrics struct {
+	mu  sync.Mutex
+	reg *stats.Registry
+
+	admitted      stats.Counter // requests accepted into the queue
+	rejected      stats.Counter // 429: admission queue full
+	rejectedDrain stats.Counter // 503: submitted while draining
+	completed     stats.Counter // simulations resolved (any resolution)
+	failed        stats.Counter // resolutions that returned an error
+	expired       stats.Counter // deadline passed before a worker picked it up
+	timeouts      stats.Counter // handler stopped waiting (504)
+	latency       *stats.Hist   // resolution latency, milliseconds
+	latMean       stats.Mean    // same, as a running mean (Retry-After hints)
+}
+
+func newMetrics(eng *experiments.Engine, p *pool) *metrics {
+	m := &metrics{
+		reg:     stats.NewRegistry(),
+		latency: stats.NewHistogram(1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000),
+	}
+	sc := m.reg.Scope("server")
+	sc.RegisterCounter("admitted", &m.admitted)
+	sc.RegisterCounter("rejected", &m.rejected)
+	sc.RegisterCounter("rejected_draining", &m.rejectedDrain)
+	sc.RegisterCounter("completed", &m.completed)
+	sc.RegisterCounter("failed", &m.failed)
+	sc.RegisterCounter("expired", &m.expired)
+	sc.RegisterCounter("timeouts", &m.timeouts)
+	sc.RegisterHist("latency_ms", m.latency)
+	sc.RegisterMean("latency_mean_ms", &m.latMean)
+	sc.RegisterGauge("workers", func() float64 { return float64(p.workers) })
+	sc.RegisterGauge("queue_capacity", func() float64 { return float64(cap(p.tasks)) })
+	sc.RegisterGauge("queue_depth", func() float64 { return float64(len(p.tasks)) })
+	sc.RegisterGauge("inflight", func() float64 { return float64(p.inflight.Load()) })
+	eng.RegisterStats(m.reg.Scope("runcache"))
+	return m
+}
+
+// inc bumps one counter under the lock.
+func (m *metrics) inc(c *stats.Counter) {
+	m.mu.Lock()
+	c.Inc()
+	m.mu.Unlock()
+}
+
+// observe records one finished resolution: outcome counter plus latency.
+func (m *metrics) observe(d time.Duration, err error) {
+	ms := d.Milliseconds()
+	m.mu.Lock()
+	if err != nil {
+		m.failed.Inc()
+	} else {
+		m.completed.Inc()
+	}
+	m.latency.Observe(int(ms))
+	m.latMean.Observe(float64(ms))
+	m.mu.Unlock()
+}
+
+// meanLatency is the running mean resolution time (0 before any finish).
+func (m *metrics) meanLatency() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return time.Duration(m.latMean.Value() * float64(time.Millisecond))
+}
+
+// snapshot reads the registry (registrations are done at construction, so
+// the lock only serializes against counter increments).
+func (m *metrics) snapshot() stats.Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reg.Snapshot()
+}

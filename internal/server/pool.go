@@ -1,0 +1,141 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrSaturated reports a full admission queue: the caller should surface
+// HTTP 429 with a Retry-After hint rather than queue unboundedly.
+var ErrSaturated = errors.New("server: admission queue full")
+
+// ErrDraining reports a pool that has stopped admitting work for graceful
+// shutdown; in-flight and queued simulations still complete.
+var ErrDraining = errors.New("server: draining, not accepting new work")
+
+// task is one admitted unit of work. done closes when the task has either
+// run or been skipped; ran distinguishes the two and is safe to read after
+// done closes (the close is the publication barrier).
+type task struct {
+	ctx  context.Context
+	fn   func()
+	done chan struct{}
+	ran  bool
+}
+
+// pool is a bounded worker pool behind an explicit admission queue. The
+// two submit modes are the service's two backpressure contracts: fail-fast
+// (single-point requests, 429 on a full queue) and blocking (sweep points,
+// which trickle in as capacity frees instead of being rejected).
+type pool struct {
+	workers int
+	tasks   chan *task
+	quit    chan struct{}
+
+	inflight atomic.Int64
+
+	mu       sync.Mutex
+	draining bool
+	pending  sync.WaitGroup // submitters between the draining check and their enqueue
+	wg       sync.WaitGroup // workers
+}
+
+// newPool starts workers goroutines consuming a depth-bounded queue.
+func newPool(workers, depth int) *pool {
+	p := &pool{
+		workers: workers,
+		tasks:   make(chan *task, depth),
+		quit:    make(chan struct{}),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case t := <-p.tasks:
+			p.exec(t)
+		case <-p.quit:
+			// Drain closes quit only after every submitter has delivered,
+			// so an empty queue here is empty forever.
+			for {
+				select {
+				case t := <-p.tasks:
+					p.exec(t)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// exec runs a task unless its deadline expired while it sat in the queue —
+// simulating for a caller that has already given up only burns a worker.
+func (p *pool) exec(t *task) {
+	if t.ctx.Err() == nil {
+		t.ran = true
+		p.inflight.Add(1)
+		t.fn()
+		p.inflight.Add(-1)
+	}
+	close(t.done)
+}
+
+// submit admits fn. With wait=false a full queue fails fast with
+// ErrSaturated; with wait=true the call blocks until a slot frees or ctx
+// expires. Both fail with ErrDraining once Drain has begun.
+func (p *pool) submit(ctx context.Context, fn func(), wait bool) (*task, error) {
+	p.mu.Lock()
+	if p.draining {
+		p.mu.Unlock()
+		return nil, ErrDraining
+	}
+	p.pending.Add(1)
+	p.mu.Unlock()
+	defer p.pending.Done()
+
+	t := &task{ctx: ctx, fn: fn, done: make(chan struct{})}
+	if wait {
+		select {
+		case p.tasks <- t:
+			return t, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	select {
+	case p.tasks <- t:
+		return t, nil
+	default:
+		return nil, ErrSaturated
+	}
+}
+
+// isDraining reports whether Drain has begun (healthz flips to 503).
+func (p *pool) isDraining() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.draining
+}
+
+// Drain stops admission, waits for every admitted task to run, and stops
+// the workers. Safe to call more than once; later calls just wait.
+func (p *pool) Drain() {
+	p.mu.Lock()
+	first := !p.draining
+	p.draining = true
+	p.mu.Unlock()
+	if first {
+		p.pending.Wait()
+		close(p.quit)
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolSaturation fills every worker and queue slot, then checks that a
+// fail-fast submit answers ErrSaturated while a blocking submit waits its
+// turn and eventually runs.
+func TestPoolSaturation(t *testing.T) {
+	p := newPool(1, 1)
+	defer p.Drain()
+	ctx := context.Background()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	busy, err := p.submit(ctx, func() { close(started); <-release }, false)
+	if err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	<-started // worker occupied
+	queued, err := p.submit(ctx, func() {}, false)
+	if err != nil {
+		t.Fatalf("second submit should queue: %v", err)
+	}
+	if _, err := p.submit(ctx, func() {}, false); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("third fail-fast submit: want ErrSaturated, got %v", err)
+	}
+
+	// A blocking submit parks until the queue frees.
+	var ran atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		tk, err := p.submit(ctx, func() { ran.Store(true) }, true)
+		if err == nil {
+			<-tk.done
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("blocking submit returned before capacity freed: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("blocking submit: %v", err)
+	}
+	<-busy.done
+	<-queued.done
+	if !ran.Load() {
+		t.Fatal("blocking submit's task never ran")
+	}
+}
+
+// TestPoolBlockingSubmitHonorsContext parks a blocking submit on a full
+// queue and cancels its context.
+func TestPoolBlockingSubmitHonorsContext(t *testing.T) {
+	p := newPool(1, 1)
+	defer p.Drain()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if _, err := p.submit(context.Background(), func() { close(started); <-release }, false); err != nil {
+		t.Fatalf("occupy worker: %v", err)
+	}
+	<-started
+	if _, err := p.submit(context.Background(), func() {}, false); err != nil {
+		t.Fatalf("fill queue: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.submit(ctx, func() {}, true)
+		done <- err
+	}()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	close(release)
+}
+
+// TestPoolSkipsExpiredTasks checks that a task whose deadline lapsed while
+// queued is skipped (done closes, ran stays false) instead of simulated.
+func TestPoolSkipsExpiredTasks(t *testing.T) {
+	p := newPool(1, 2)
+	defer p.Drain()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if _, err := p.submit(context.Background(), func() { close(started); <-release }, false); err != nil {
+		t.Fatalf("occupy worker: %v", err)
+	}
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	tk, err := p.submit(ctx, func() { t.Error("expired task must not run") }, false)
+	if err != nil {
+		t.Fatalf("queue task: %v", err)
+	}
+	cancel() // expires while queued
+	close(release)
+	<-tk.done
+	if tk.ran {
+		t.Fatal("task with expired context reported ran=true")
+	}
+}
+
+// TestPoolDrain checks the shutdown contract: queued work finishes, new
+// submissions fail with ErrDraining, and Drain returns only after the
+// queue empties.
+func TestPoolDrain(t *testing.T) {
+	p := newPool(2, 8)
+	var completed atomic.Int64
+	var tasks []*task
+	for i := 0; i < 6; i++ {
+		tk, err := p.submit(context.Background(), func() {
+			time.Sleep(5 * time.Millisecond)
+			completed.Add(1)
+		}, false)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		tasks = append(tasks, tk)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); p.Drain() }()
+	wg.Wait()
+	if got := completed.Load(); got != 6 {
+		t.Fatalf("Drain returned with %d of 6 tasks complete", got)
+	}
+	for i, tk := range tasks {
+		select {
+		case <-tk.done:
+		default:
+			t.Fatalf("task %d not done after Drain", i)
+		}
+		if !tk.ran {
+			t.Fatalf("task %d skipped during drain", i)
+		}
+	}
+	if !p.isDraining() {
+		t.Fatal("isDraining false after Drain")
+	}
+	if _, err := p.submit(context.Background(), func() {}, false); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit: want ErrDraining, got %v", err)
+	}
+	p.Drain() // idempotent
+}

@@ -1,0 +1,454 @@
+// Package server turns the shared design-point engine into a long-lived
+// simulation service: a stdlib-only HTTP daemon (cmd/uopsimd) that accepts
+// design-point requests as JSON, fingerprints them with runcache.Key, and
+// resolves them through one process-wide engine so concurrent identical
+// requests collapse to a single simulation. Admission is explicit — a
+// bounded worker pool behind a bounded queue; a full queue answers 429
+// with a Retry-After hint instead of spawning goroutines — and shutdown is
+// graceful (stop admitting, drain in-flight work). The package also
+// carries the client and load generator cmd/uopload drives. See DESIGN.md
+// §9 for the endpoint contracts.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"uopsim/internal/experiments"
+	"uopsim/internal/runcache"
+)
+
+// Config sizes the service. Zero values select the documented defaults.
+type Config struct {
+	// Workers bounds concurrent simulations (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue (default 4×Workers). A full
+	// queue rejects single-point requests with 429.
+	QueueDepth int
+	// MaxDeadline caps every per-request deadline (default 2m). Requests
+	// that do not ask for a timeout get the whole cap.
+	MaxDeadline time.Duration
+	// MaxInsts caps warmup+measure per point (default 2,000,000) so one
+	// request cannot monopolize a worker indefinitely.
+	MaxInsts uint64
+	// MaxSweepPoints caps the points accepted per /v1/sweep call
+	// (default 1024).
+	MaxSweepPoints int
+	// Engine resolves points. Nil builds an in-process-only engine;
+	// attach one backed by a runcache.Dir to persist results.
+	Engine *experiments.Engine
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.MaxInsts == 0 {
+		c.MaxInsts = 2_000_000
+	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 1024
+	}
+	return c
+}
+
+// Server is the simulation service: an http.Handler plus the pool and
+// engine behind it.
+type Server struct {
+	cfg   Config
+	eng   *experiments.Engine
+	pool  *pool
+	met   *metrics
+	mux   *http.ServeMux
+	start time.Time
+
+	// resolve is the simulation back end. Tests stub it to control timing
+	// and failures without running the simulator.
+	resolve func(experiments.PointRequest) (experiments.PointResult, runcache.Resolution, error)
+}
+
+// New builds a server. The returned server is serving-ready; wire it into
+// an http.Server and call Drain after that server's Shutdown completes.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	eng := cfg.Engine
+	if eng == nil {
+		eng, _ = experiments.NewEngine("", 0) // "" cannot fail: no directory to open
+	}
+	s := &Server{cfg: cfg, eng: eng, start: time.Now()}
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth)
+	s.met = newMetrics(eng, s.pool)
+	s.resolve = func(req experiments.PointRequest) (experiments.PointResult, runcache.Resolution, error) {
+		return req.Resolve(eng)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Engine exposes the resolving engine (its Stats are the dedupe evidence).
+func (s *Server) Engine() *experiments.Engine { return s.eng }
+
+// Drain stops admitting simulations and blocks until in-flight and queued
+// work completes. Call after http.Server.Shutdown has stopped new
+// connections; with a cache directory attached every completed point is
+// already fsynced to its blob, so draining is all the flushing there is.
+func (s *Server) Drain() { s.pool.Drain() }
+
+// SimulateRequest is /v1/simulate's body: one point plus an optional
+// per-request deadline.
+type SimulateRequest struct {
+	experiments.PointRequest
+	// TimeoutMS bounds this request's wait (queueing + simulation).
+	// Capped by the server's MaxDeadline; 0 means the whole cap.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SimulateResponse is /v1/simulate's 200 body.
+type SimulateResponse struct {
+	Workload    string                  `json:"workload"`
+	Scheme      string                  `json:"scheme,omitempty"`
+	Capacity    int                     `json:"capacity,omitempty"`
+	Fingerprint string                  `json:"fingerprint"`
+	Resolution  string                  `json:"resolution"`
+	ElapsedMS   float64                 `json:"elapsed_ms"`
+	Result      experiments.PointResult `json:"result"`
+}
+
+// SweepRequest is /v1/sweep's body: a batch of points resolved under one
+// deadline, streamed back as NDJSON in completion order.
+type SweepRequest struct {
+	Points    []experiments.PointRequest `json:"points"`
+	TimeoutMS int64                      `json:"timeout_ms,omitempty"`
+}
+
+// SweepLine is one NDJSON line of a /v1/sweep response; Index ties the
+// line back to its position in the request's points array.
+type SweepLine struct {
+	Index      int                      `json:"index"`
+	Workload   string                   `json:"workload"`
+	Scheme     string                   `json:"scheme,omitempty"`
+	Resolution string                   `json:"resolution,omitempty"`
+	ElapsedMS  float64                  `json:"elapsed_ms"`
+	Error      string                   `json:"error,omitempty"`
+	Result     *experiments.PointResult `json:"result,omitempty"`
+}
+
+// PoolStats is the admission/pool half of /v1/stats.
+type PoolStats struct {
+	Workers          int    `json:"workers"`
+	QueueCapacity    int    `json:"queue_capacity"`
+	QueueDepth       int    `json:"queue_depth"`
+	Inflight         int    `json:"inflight"`
+	Admitted         uint64 `json:"admitted"`
+	Rejected         uint64 `json:"rejected"`
+	RejectedDraining uint64 `json:"rejected_draining"`
+	Completed        uint64 `json:"completed"`
+	Failed           uint64 `json:"failed"`
+	Expired          uint64 `json:"expired"`
+	Timeouts         uint64 `json:"timeouts"`
+}
+
+// StatsResponse is /v1/stats: engine resolution counters (the dedupe
+// evidence) plus pool counters.
+type StatsResponse struct {
+	Engine        runcache.Stats `json:"engine"`
+	Pool          PoolStats      `json:"pool"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+}
+
+// errorBody is every non-2xx JSON payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint — the connection is gone if this fails
+}
+
+// decodeJSON parses a bounded request body strictly: unknown fields are a
+// client error, not something to guess about.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// validatePoint layers the server's resource policy over point validity.
+func (s *Server) validatePoint(pt experiments.PointRequest) error {
+	if err := pt.Validate(); err != nil {
+		return err
+	}
+	if total := pt.Warmup + pt.Measure; total > s.cfg.MaxInsts {
+		return fmt.Errorf("warmup+measure = %d exceeds this server's per-point cap of %d instructions", total, s.cfg.MaxInsts)
+	}
+	return nil
+}
+
+// requestContext derives the working deadline: the client's timeout_ms
+// capped by MaxDeadline, or the whole cap when the client named none.
+func (s *Server) requestContext(parent context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.MaxDeadline
+	if timeoutMS > 0 {
+		if td := time.Duration(timeoutMS) * time.Millisecond; td < d {
+			d = td
+		}
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// retryAfter estimates, in whole seconds, when a queue slot should free:
+// outstanding work divided across workers, scaled by the mean observed
+// resolution latency. Clamped to [1s, 60s]; before any completion the
+// estimate is a flat second.
+func (s *Server) retryAfter() string {
+	mean := s.met.meanLatency()
+	if mean <= 0 {
+		mean = time.Second
+	}
+	outstanding := len(s.pool.tasks) + int(s.pool.inflight.Load())
+	est := time.Duration(outstanding/s.pool.workers+1) * mean
+	secs := int(math.Ceil(est.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.Itoa(secs)
+}
+
+// resolveOne pushes one validated point through the pool and waits for it
+// under ctx. It returns the response, or an HTTP status code and error.
+// wait selects the admission mode: fail-fast (simulate, 429) or blocking
+// (sweep points trickle in as capacity frees).
+func (s *Server) resolveOne(ctx context.Context, pt experiments.PointRequest, wait bool) (*SimulateResponse, int, error) {
+	fp, err := pt.Fingerprint()
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	var (
+		res  experiments.PointResult
+		how  runcache.Resolution
+		rerr error
+	)
+	start := time.Now()
+	t, err := s.pool.submit(ctx, func() {
+		t0 := time.Now()
+		res, how, rerr = s.resolve(pt)
+		s.met.observe(time.Since(t0), rerr)
+	}, wait)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrSaturated):
+			s.met.inc(&s.met.rejected)
+			return nil, http.StatusTooManyRequests, err
+		case errors.Is(err, ErrDraining):
+			s.met.inc(&s.met.rejectedDrain)
+			return nil, http.StatusServiceUnavailable, err
+		default: // deadline expired while blocked on admission
+			s.met.inc(&s.met.timeouts)
+			return nil, http.StatusGatewayTimeout, fmt.Errorf("deadline expired awaiting admission: %w", err)
+		}
+	}
+	s.met.inc(&s.met.admitted)
+	select {
+	case <-t.done:
+	case <-ctx.Done():
+		s.met.inc(&s.met.timeouts)
+		return nil, http.StatusGatewayTimeout, fmt.Errorf(
+			"deadline exceeded after %dms; an admitted simulation keeps running and will warm the cache for a retry", time.Since(start).Milliseconds())
+	}
+	if !t.ran {
+		s.met.inc(&s.met.expired)
+		return nil, http.StatusGatewayTimeout, fmt.Errorf("deadline expired before a worker picked the request up")
+	}
+	if rerr != nil {
+		return nil, http.StatusInternalServerError, rerr
+	}
+	return &SimulateResponse{
+		Workload:    pt.Workload,
+		Scheme:      pt.Scheme,
+		Capacity:    pt.Capacity,
+		Fingerprint: string(fp),
+		Resolution:  how.String(),
+		ElapsedMS:   float64(time.Since(start)) / float64(time.Millisecond),
+		Result:      res,
+	}, http.StatusOK, nil
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST a SimulateRequest to this endpoint")
+		return
+	}
+	var req SimulateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pt := req.PointRequest.WithDefaults()
+	if err := s.validatePoint(pt); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	resp, code, err := s.resolveOne(ctx, pt, false)
+	if err != nil {
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", s.retryAfter())
+		}
+		s.writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST a SweepRequest to this endpoint")
+		return
+	}
+	var req SweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Points) == 0 {
+		s.writeError(w, http.StatusBadRequest, "sweep needs at least one point")
+		return
+	}
+	if len(req.Points) > s.cfg.MaxSweepPoints {
+		s.writeError(w, http.StatusBadRequest, "sweep of %d points exceeds this server's cap of %d", len(req.Points), s.cfg.MaxSweepPoints)
+		return
+	}
+	pts := make([]experiments.PointRequest, len(req.Points))
+	for i, p := range req.Points {
+		pts[i] = p.WithDefaults()
+		if err := s.validatePoint(pts[i]); err != nil {
+			s.writeError(w, http.StatusBadRequest, "points[%d]: %v", i, err)
+			return
+		}
+	}
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	// One light waiter goroutine per point; simulation concurrency is
+	// still bounded by the pool (blocking admission), and the point count
+	// by MaxSweepPoints. The channel is buffered to the batch size so a
+	// slow client write never blocks a finishing waiter.
+	lines := make(chan SweepLine, len(pts))
+	var wg sync.WaitGroup
+	for i := range pts {
+		wg.Add(1)
+		go func(i int, pt experiments.PointRequest) {
+			defer wg.Done()
+			line := SweepLine{Index: i, Workload: pt.Workload, Scheme: pt.Scheme}
+			resp, _, err := s.resolveOne(ctx, pt, true)
+			if err != nil {
+				line.Error = err.Error()
+			} else {
+				line.Resolution = resp.Resolution
+				line.ElapsedMS = resp.ElapsedMS
+				line.Result = &resp.Result
+			}
+			lines <- line
+		}(i, pts[i])
+	}
+	go func() { wg.Wait(); close(lines) }()
+
+	enc := json.NewEncoder(w)
+	for line := range lines {
+		if err := enc.Encode(line); err != nil {
+			// Client went away; keep draining so the waiters can exit.
+			continue
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET this endpoint")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statsResponse())
+}
+
+func (s *Server) statsResponse() StatsResponse {
+	m := s.met
+	m.mu.Lock()
+	pool := PoolStats{
+		Workers:          s.pool.workers,
+		QueueCapacity:    cap(s.pool.tasks),
+		QueueDepth:       len(s.pool.tasks),
+		Inflight:         int(s.pool.inflight.Load()),
+		Admitted:         m.admitted.Value(),
+		Rejected:         m.rejected.Value(),
+		RejectedDraining: m.rejectedDrain.Value(),
+		Completed:        m.completed.Value(),
+		Failed:           m.failed.Value(),
+		Expired:          m.expired.Value(),
+		Timeouts:         m.timeouts.Value(),
+	}
+	m.mu.Unlock()
+	return StatsResponse{
+		Engine:        s.eng.Stats(),
+		Pool:          pool,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.pool.isDraining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.snapshot().WritePrometheus(w, "uopsimd")
+}

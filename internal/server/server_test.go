@@ -1,0 +1,434 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"uopsim/internal/experiments"
+	"uopsim/internal/runcache"
+)
+
+// newTestServer builds a server with tiny-run-friendly caps and hands back
+// the httptest wrapper.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() { ts.Close(); s.Drain() })
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+// TestValidationErrors tables the 4xx contract of both POST endpoints.
+func TestValidationErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxInsts: 50_000})
+	cases := []struct {
+		name, path, body string
+		wantCode         int
+		wantSubstr       string
+	}{
+		{"malformed json", "/v1/simulate", `{"workload":`, 400, "bad request body"},
+		{"unknown field", "/v1/simulate", `{"workload":"bm_cc","bogus":1}`, 400, "bogus"},
+		{"missing workload", "/v1/simulate", `{}`, 400, "needs a workload"},
+		{"unknown workload", "/v1/simulate", `{"workload":"nope"}`, 400, "unknown profile"},
+		{"unknown scheme", "/v1/simulate", `{"workload":"bm_cc","scheme":"warp"}`, 400, "unknown scheme"},
+		{"negative capacity", "/v1/simulate", `{"workload":"bm_cc","capacity":-4}`, 400, "capacity"},
+		{"insts over cap", "/v1/simulate", `{"workload":"bm_cc","warmup":40000,"measure":20000}`, 400, "per-point cap"},
+		{"empty sweep", "/v1/sweep", `{"points":[]}`, 400, "at least one point"},
+		{"sweep bad point", "/v1/sweep", `{"points":[{"workload":"bm_cc","warmup":100,"measure":200},{"workload":"nope","warmup":100,"measure":200}]}`, 400, "points[1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postJSON(t, ts.URL+tc.path, tc.body)
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.wantCode)
+			}
+			var eb errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+				t.Fatalf("error body: %v", err)
+			}
+			if !strings.Contains(eb.Error, tc.wantSubstr) {
+				t.Fatalf("error %q does not mention %q", eb.Error, tc.wantSubstr)
+			}
+		})
+	}
+
+	t.Run("method not allowed", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/v1/simulate")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /v1/simulate = %d, want 405", resp.StatusCode)
+		}
+	})
+}
+
+// TestBackpressure429 saturates a 1-worker/1-slot server through a stubbed
+// resolver and checks the full 429 contract: Retry-After present and
+// parseable, and a retry after capacity frees succeeds.
+func TestBackpressure429(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	s.resolve = func(experiments.PointRequest) (experiments.PointResult, runcache.Resolution, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		return experiments.PointResult{}, runcache.ResolvedCompute, nil
+	}
+	client := NewClient(ts.URL)
+	req := SimulateRequest{PointRequest: experiments.PointRequest{Workload: "bm_cc"}}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = client.Simulate(req)
+		}(i)
+	}
+	<-started // worker busy; second request occupies the queue slot
+	// Poll until the queue slot is actually taken, then expect 429.
+	var se *StatusError
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := client.Simulate(req)
+		if errors.As(err, &se) && se.Code == http.StatusTooManyRequests {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw a 429; last err: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if se.RetryAfter <= 0 || se.RetryAfter > time.Minute {
+		t.Fatalf("Retry-After hint %v outside (0, 60s]", se.RetryAfter)
+	}
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("in-flight request %d failed: %v", i, err)
+		}
+	}
+	// Capacity is free again: the retry the 429 asked for now succeeds.
+	if _, err := client.Simulate(req); err != nil {
+		t.Fatalf("retry after 429 should succeed: %v", err)
+	}
+	st := s.statsResponse()
+	if st.Pool.Rejected == 0 {
+		t.Fatal("stats never counted a rejection")
+	}
+}
+
+// TestSweepNDJSON drives /v1/sweep through a stub that fails one point and
+// staggers completion order, checking content type, index integrity, the
+// per-line error contract, and that every point is answered exactly once.
+func TestSweepNDJSON(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 8})
+	s.resolve = func(pt experiments.PointRequest) (experiments.PointResult, runcache.Resolution, error) {
+		if pt.Workload == "redis" {
+			return experiments.PointResult{}, runcache.ResolvedCompute, fmt.Errorf("injected failure")
+		}
+		return experiments.PointResult{Suite: "test"}, runcache.ResolvedMemo, nil
+	}
+	body := `{"points":[
+		{"workload":"bm_cc"},
+		{"workload":"redis"},
+		{"workload":"jvm","capacity":1024},
+		{"workload":"bm_cc","scheme":"clasp"}
+	]}`
+	resp := postJSON(t, ts.URL+"/v1/sweep", body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	seen := map[int]SweepLine{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var line SweepLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if _, dup := seen[line.Index]; dup {
+			t.Fatalf("index %d answered twice", line.Index)
+		}
+		seen[line.Index] = line
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("answered %d of 4 points", len(seen))
+	}
+	for i := 0; i < 4; i++ {
+		line, ok := seen[i]
+		if !ok {
+			t.Fatalf("index %d never answered", i)
+		}
+		if i == 1 {
+			if !strings.Contains(line.Error, "injected failure") || line.Result != nil {
+				t.Fatalf("index 1: want injected failure and nil result, got %+v", line)
+			}
+			continue
+		}
+		if line.Error != "" || line.Result == nil || line.Result.Suite != "test" {
+			t.Fatalf("index %d: unexpected line %+v", i, line)
+		}
+		if line.Resolution != "memo" {
+			t.Fatalf("index %d: resolution %q, want memo", i, line.Resolution)
+		}
+	}
+}
+
+// TestGracefulDrain checks shutdown semantics end to end: an in-flight
+// request completes, /healthz flips to 503, and new work is refused.
+func TestGracefulDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	s.resolve = func(experiments.PointRequest) (experiments.PointResult, runcache.Resolution, error) {
+		once.Do(func() { close(started) })
+		<-release
+		return experiments.PointResult{Suite: "drained"}, runcache.ResolvedCompute, nil
+	}
+	client := NewClient(ts.URL)
+	if err := client.Healthz(); err != nil {
+		t.Fatalf("healthz before drain: %v", err)
+	}
+	inflight := make(chan error, 1)
+	go func() {
+		resp, err := client.Simulate(SimulateRequest{PointRequest: experiments.PointRequest{Workload: "bm_cc"}})
+		if err == nil && resp.Result.Suite != "drained" {
+			err = fmt.Errorf("unexpected result %+v", resp)
+		}
+		inflight <- err
+	}()
+	<-started
+
+	drained := make(chan struct{})
+	go func() { defer close(drained); s.Drain() }()
+	// Drain blocks on the in-flight request; healthz must already be 503.
+	deadline := time.Now().Add(2 * time.Second)
+	for !s.pool.isDraining() {
+		if time.Now().After(deadline) {
+			t.Fatal("pool never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := client.Healthz(); err == nil {
+		t.Fatal("healthz should fail while draining")
+	} else if se := new(StatusError); !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: want 503, got %v", err)
+	}
+	if _, err := client.Simulate(SimulateRequest{PointRequest: experiments.PointRequest{Workload: "jvm"}}); err == nil {
+		t.Fatal("new request during drain should fail")
+	} else if se := new(StatusError); !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("simulate during drain: want 503, got %v", err)
+	}
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a request was in flight")
+	default:
+	}
+	close(release)
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight request should complete through drain: %v", err)
+	}
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not return after in-flight work completed")
+	}
+}
+
+// TestConcurrentIdenticalSimulatesOnce fires N identical requests at a
+// real engine-backed server concurrently and asserts the engine ran
+// exactly one simulation — the core dedupe promise of the daemon.
+func TestConcurrentIdenticalSimulatesOnce(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	client := NewClient(ts.URL)
+	req := SimulateRequest{PointRequest: experiments.PointRequest{
+		Workload: "bm_cc", Warmup: 1_000, Measure: 3_000,
+	}}
+	const n = 16
+	var wg sync.WaitGroup
+	resolutions := make([]string, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := client.Simulate(req)
+			if err == nil {
+				resolutions[i] = resp.Resolution
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	st := s.Engine().Stats()
+	if st.Simulated != 1 {
+		t.Fatalf("engine simulated %d times for %d identical requests, want exactly 1", st.Simulated, n)
+	}
+	if st.Submitted != n {
+		t.Fatalf("engine saw %d submissions, want %d", st.Submitted, n)
+	}
+	var computed int
+	for _, r := range resolutions {
+		if r == "simulated" {
+			computed++
+		}
+	}
+	if computed != 1 {
+		t.Fatalf("%d responses claimed resolution=simulated, want exactly 1 (rest memo)", computed)
+	}
+}
+
+// TestSweepDedupe50x10 is the acceptance scenario: a 2-worker server, 50
+// requests spanning exactly 10 unique design points, and the engine must
+// simulate exactly 10 times while /v1/stats reports the dedupe.
+func TestSweepDedupe50x10(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 64})
+	client := NewClient(ts.URL)
+
+	// 10 unique points: 5 schemes × 1 workload × 2 capacities.
+	var unique []experiments.PointRequest
+	for _, capacity := range []int{1024, 2048} {
+		for _, sc := range experiments.Schemes(2) {
+			unique = append(unique, experiments.PointRequest{
+				Workload: "bm_cc", Scheme: sc.Name, Capacity: capacity,
+				Warmup: 1_000, Measure: 2_000,
+			})
+		}
+	}
+	if len(unique) != 10 {
+		t.Fatalf("expected 10 unique points, built %d", len(unique))
+	}
+	points := make([]experiments.PointRequest, 50)
+	for i := range points {
+		points[i] = unique[i%10]
+	}
+
+	report := LoadReport{Resolutions: map[string]int{}}
+	seen := make([]bool, len(points))
+	err := client.Sweep(SweepRequest{Points: points}, func(line SweepLine) error {
+		if line.Index < 0 || line.Index >= len(seen) || seen[line.Index] {
+			return fmt.Errorf("bad or duplicate index %d", line.Index)
+		}
+		seen[line.Index] = true
+		if line.Error != "" {
+			return fmt.Errorf("points[%d]: %s", line.Index, line.Error)
+		}
+		report.OK++
+		report.Resolutions[line.Resolution]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK != 50 {
+		t.Fatalf("answered %d of 50", report.OK)
+	}
+
+	st := s.Engine().Stats()
+	if st.Simulated != 10 {
+		t.Fatalf("engine simulated %d times for 50 requests over 10 unique points, want exactly 10", st.Simulated)
+	}
+	if st.Unique != 10 {
+		t.Fatalf("engine saw %d unique fingerprints, want 10", st.Unique)
+	}
+	if report.Resolutions["simulated"] != 10 || report.Resolutions["memo"] != 40 {
+		t.Fatalf("resolution mix %v, want simulated=10 memo=40", report.Resolutions)
+	}
+
+	// /v1/stats must tell the same story over the wire.
+	wire, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire.Engine.Simulated != 10 || wire.Engine.Submitted != 50 || wire.Engine.MemoHits != 40 {
+		t.Fatalf("/v1/stats engine = %+v, want simulated=10 submitted=50 memo_hits=40", wire.Engine)
+	}
+	if wire.Pool.Admitted != 50 || wire.Pool.Completed != 50 {
+		t.Fatalf("/v1/stats pool = %+v, want admitted=50 completed=50", wire.Pool)
+	}
+}
+
+// TestMetricsEndpoint spot-checks the Prometheus exposition: server scope,
+// runcache scope, and parseable sample lines.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	client := NewClient(ts.URL)
+	if _, err := client.Simulate(SimulateRequest{PointRequest: experiments.PointRequest{
+		Workload: "jvm", Warmup: 500, Measure: 1_000,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"uopsimd_server_admitted",
+		"uopsimd_server_completed",
+		"uopsimd_server_workers",
+		"uopsimd_runcache_simulated",
+		"uopsimd_runcache_dedupe_factor",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "uopsimd_server_completed ") {
+			v, err := strconv.ParseFloat(strings.Fields(line)[1], 64)
+			if err != nil || v < 1 {
+				t.Fatalf("completed sample %q should be >= 1", line)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command uopload replays sweep-shaped request mixes against a running
+// uopsimd: -n requests drawn (seeded shuffle) from -unique distinct design
+// points, issued by -c concurrent clients, optionally paced to -rps. It
+// reports latency percentiles, the per-resolution breakdown (simulated /
+// memo / disk — the dedupe evidence), and the 429/retry tally, then
+// fetches the daemon's /v1/stats engine counters. Exit status is nonzero
+// if any request ultimately failed.
+//
+// Usage:
+//
+//	uopload -url http://localhost:8077 -n 50 -unique 10 -c 8
+//	uopload -url http://localhost:8077 -mode sweep -n 50 -unique 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"uopsim/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "uopload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		url        = flag.String("url", "http://localhost:8077", "uopsimd base URL")
+		n          = flag.Int("n", 50, "total requests")
+		unique     = flag.Int("unique", 10, "distinct design points in the mix")
+		conc       = flag.Int("c", 8, "concurrent clients")
+		rps        = flag.Int("rps", 0, "target request rate (0 = unpaced)")
+		warmup     = flag.Uint64("warmup", 2_000, "warmup instructions per point")
+		insts      = flag.Uint64("insts", 10_000, "measured instructions per point")
+		workloads  = flag.String("workloads", "", "comma-separated workload mix (empty = default)")
+		seed       = flag.Int64("seed", 1, "shuffle seed")
+		retries    = flag.Int("retries", 3, "429 retries per request (negative disables)")
+		retryDelay = flag.Duration("retry-delay", 0, "cap on per-retry sleep (0 = honor Retry-After)")
+		mode       = flag.String("mode", "simulate", "simulate (per-request /v1/simulate) or sweep (one /v1/sweep batch)")
+		timeout    = flag.Duration("timeout", 0, "per-request timeout forwarded as timeout_ms (0 = server cap)")
+	)
+	flag.Parse()
+
+	cfg := server.LoadConfig{
+		Requests:    *n,
+		Unique:      *unique,
+		Concurrency: *conc,
+		RPS:         *rps,
+		Warmup:      *warmup,
+		Measure:     *insts,
+		Seed:        *seed,
+		Retries:     *retries,
+		RetryDelay:  *retryDelay,
+		TimeoutMS:   timeout.Milliseconds(),
+	}
+	if *workloads != "" {
+		cfg.Workloads = strings.Split(*workloads, ",")
+	}
+
+	client := server.NewClient(*url)
+	if err := client.Healthz(); err != nil {
+		return fmt.Errorf("daemon not healthy at %s: %w", *url, err)
+	}
+
+	var (
+		report server.LoadReport
+		err    error
+	)
+	switch *mode {
+	case "simulate":
+		report, err = server.RunLoad(client, cfg)
+	case "sweep":
+		report, err = server.RunSweep(client, cfg)
+	default:
+		return fmt.Errorf("unknown -mode %q (simulate or sweep)", *mode)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+
+	if stats, serr := client.Stats(); serr == nil {
+		fmt.Printf("engine %s\n", stats.Engine)
+	} else {
+		fmt.Fprintf(os.Stderr, "uopload: stats fetch failed: %v\n", serr)
+	}
+	if report.Failed > 0 {
+		return fmt.Errorf("%d of %d requests failed", report.Failed, report.Requests)
+	}
+	return nil
+}

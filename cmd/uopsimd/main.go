@@ -1,0 +1,99 @@
+// Command uopsimd serves the uop-cache simulator over HTTP: POST design
+// points to /v1/simulate (one JSON result) or /v1/sweep (NDJSON stream in
+// completion order), scrape /metrics, and watch /healthz. Every request is
+// fingerprinted and resolved through one process-wide engine, so
+// concurrent identical requests collapse to a single simulation, and with
+// -cache attached results persist across restarts and are shared with
+// uopexp sweeps pointed at the same directory.
+//
+// Usage:
+//
+//	uopsimd -addr :8077 -workers 4 -cache /var/tmp/uopsim-cache
+//	curl -s localhost:8077/v1/simulate -d '{"workload":"bm_cc","scheme":"clasp"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"uopsim/internal/experiments"
+	"uopsim/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "uopsimd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8077", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 0, "admission queue depth (0 = 4×workers); a full queue answers 429")
+		cacheDir     = flag.String("cache", "", "result cache directory shared with uopexp (empty = in-memory only)")
+		cacheVerify  = flag.Int("cache-verify", 0, "re-simulate every Nth disk hit and compare (0 = trust blobs)")
+		deadline     = flag.Duration("deadline", 2*time.Minute, "cap on any request's deadline")
+		maxInsts     = flag.Uint64("max-insts", 2_000_000, "cap on warmup+measure per point")
+		maxPoints    = flag.Int("max-points", 1024, "cap on points per /v1/sweep call")
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "shutdown budget for in-flight simulations")
+	)
+	flag.Parse()
+
+	eng, err := experiments.NewEngine(*cacheDir, *cacheVerify)
+	if err != nil {
+		return err
+	}
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxDeadline:    *deadline,
+		MaxInsts:       *maxInsts,
+		MaxSweepPoints: *maxPoints,
+		Engine:         eng,
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("uopsimd: listening on %s (cache=%q)", *addr, *cacheDir)
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections, then drain the pool so
+	// admitted simulations finish and land in the cache.
+	log.Printf("uopsimd: shutting down, draining in-flight work (budget %s)", *drainTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		log.Printf("uopsimd: shutdown: %v", err)
+	}
+	done := make(chan struct{})
+	go func() { srv.Drain(); close(done) }()
+	select {
+	case <-done:
+	case <-sctx.Done():
+		log.Printf("uopsimd: drain budget exhausted, exiting with work in flight")
+	}
+	log.Printf("uopsimd: engine %s", eng.Stats())
+	return nil
+}

@@ -54,6 +54,11 @@ func statusError(resp *http.Response) *StatusError {
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
 			se.RetryAfter = time.Duration(secs) * time.Second
+		} else if at, err := http.ParseTime(ra); err == nil {
+			// RFC 9110 also allows an HTTP-date form.
+			if d := time.Until(at); d > 0 {
+				se.RetryAfter = d
+			}
 		}
 	}
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))

@@ -15,7 +15,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"math"
 	"net/http"
 	"runtime"
@@ -196,12 +195,28 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v) //nolint — the connection is gone if this fails
 }
 
-// decodeJSON parses a bounded request body strictly: unknown fields are a
-// client error, not something to guess about.
-func decodeJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(io.LimitReader(r.Body, 4<<20))
+// simulateBodyLimit bounds a /v1/simulate body: one point plus one config
+// override fits in a fraction of this.
+const simulateBodyLimit = 4 << 20
+
+// sweepBodyLimit bounds a /v1/sweep body. Every admissible point may carry
+// a full explicit config override (a few KB), so the cap scales with the
+// point cap rather than truncating documented-legal batches mid-stream.
+func (s *Server) sweepBodyLimit() int64 {
+	return simulateBodyLimit + int64(s.cfg.MaxSweepPoints)*(16<<10)
+}
+
+// decodeJSON parses a request body bounded by limit, strictly: unknown
+// fields are a client error, not something to guess about. An over-limit
+// body is reported as such instead of surfacing as a truncation error.
+func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return fmt.Errorf("request body too large (limit %d bytes)", tooBig.Limit)
+		}
 		return fmt.Errorf("bad request body: %w", err)
 	}
 	return nil
@@ -290,7 +305,7 @@ func (s *Server) resolveOne(ctx context.Context, pt experiments.PointRequest, wa
 	case <-ctx.Done():
 		s.met.inc(&s.met.timeouts)
 		return nil, http.StatusGatewayTimeout, fmt.Errorf(
-			"deadline exceeded after %dms; an admitted simulation keeps running and will warm the cache for a retry", time.Since(start).Milliseconds())
+			"deadline exceeded after %dms; a simulation that was already executing may still finish and warm the cache for a retry", time.Since(start).Milliseconds())
 	}
 	if !t.ran {
 		s.met.inc(&s.met.expired)
@@ -316,7 +331,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req SimulateRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(w, r, simulateBodyLimit, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -344,7 +359,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req SweepRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(w, r, s.sweepBodyLimit(), &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}

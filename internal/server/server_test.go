@@ -84,6 +84,47 @@ func TestValidationErrors(t *testing.T) {
 	})
 }
 
+// TestBodyTooLarge sends an over-limit /v1/simulate body and expects the
+// explicit too-large message, not a truncation-shaped decode error.
+func TestBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	body := fmt.Sprintf(`{"workload":"bm_cc","note":%q}`, strings.Repeat("x", simulateBodyLimit+1))
+	resp := postJSON(t, ts.URL+"/v1/simulate", body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("error body: %v", err)
+	}
+	if !strings.Contains(eb.Error, "request body too large") {
+		t.Fatalf("error %q does not name the body limit", eb.Error)
+	}
+}
+
+// TestStatusErrorRetryAfterForms covers both Retry-After forms RFC 9110
+// allows: delta-seconds and HTTP-date.
+func TestStatusErrorRetryAfterForms(t *testing.T) {
+	mk := func(ra string) *http.Response {
+		rec := httptest.NewRecorder()
+		rec.Header().Set("Retry-After", ra)
+		rec.WriteHeader(http.StatusTooManyRequests)
+		return rec.Result()
+	}
+	if se := statusError(mk("3")); se.RetryAfter != 3*time.Second {
+		t.Fatalf("delta-seconds RetryAfter = %v, want 3s", se.RetryAfter)
+	}
+	at := time.Now().Add(30 * time.Second).UTC()
+	se := statusError(mk(at.Format(http.TimeFormat)))
+	if se.RetryAfter <= 0 || se.RetryAfter > 30*time.Second {
+		t.Fatalf("HTTP-date RetryAfter = %v, want in (0s, 30s]", se.RetryAfter)
+	}
+	if se := statusError(mk(time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat))); se.RetryAfter != 0 {
+		t.Fatalf("past HTTP-date RetryAfter = %v, want 0", se.RetryAfter)
+	}
+}
+
 // TestBackpressure429 saturates a 1-worker/1-slot server through a stubbed
 // resolver and checks the full 429 contract: Retry-After present and
 // parseable, and a retry after capacity frees succeeds.

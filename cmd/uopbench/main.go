@@ -48,11 +48,14 @@ type Result struct {
 
 // Report is the serialized harness output.
 type Report struct {
-	Bench   string   `json:"bench"`
-	Warmup  uint64   `json:"warmup_insts"`
-	Measure uint64   `json:"measure_insts"`
-	Iters   int      `json:"iters_per_workload"`
-	Results []Result `json:"results"`
+	Bench   string `json:"bench"`
+	Warmup  uint64 `json:"warmup_insts"`
+	Measure uint64 `json:"measure_insts"`
+	Iters   int    `json:"iters_per_workload"`
+	// Sampling, when enabled, records that every op ran interval-sampled
+	// (RunSampled) — sampled and full reports are not comparable rows.
+	Sampling *uopsim.Sampling `json:"sampling,omitempty"`
+	Results  []Result         `json:"results"`
 	// Before carries the previous report (typically the state before an
 	// optimization PR) for side-by-side comparison.
 	Before *Report `json:"before,omitempty"`
@@ -91,6 +94,10 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: TableII bench set)")
 		parallel  = flag.Int("parallel", 1, "concurrent simulations (0 = all CPUs; >1 disables the alloc columns, which are only attributable sequentially)")
 		cacheDir  = flag.String("cache", "", "golden mode only: design-point cache directory (the throughput harness never caches — it must measure real simulation)")
+		sample    = flag.Bool("sample", false, "measure interval-sampled simulation (RunSampled) instead of full runs")
+		sampleK   = flag.Int("sample-intervals", 0, "sampling: measurement intervals per run (0 = default)")
+		sampleM   = flag.Uint64("sample-insts", 0, "sampling: measured instructions per interval (0 = default)")
+		sampleW   = flag.Uint64("sample-warmup", 0, "sampling: detailed-warmup instructions per interval (0 = default)")
 	)
 	flag.Parse()
 
@@ -110,7 +117,16 @@ func main() {
 	if *workloads != "" {
 		names = strings.Split(*workloads, ",")
 	}
-	rep, err := run(names, *warmup, *insts, *iters, *parallel)
+	var sp uopsim.Sampling
+	if *sample || *sampleK > 0 || *sampleM > 0 || *sampleW > 0 {
+		sp = uopsim.Sampling{
+			Enabled:       true,
+			Intervals:     *sampleK,
+			IntervalInsts: *sampleM,
+			WarmupInsts:   *sampleW,
+		}
+	}
+	rep, err := run(names, *warmup, *insts, *iters, *parallel, sp)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "uopbench:", err)
 		os.Exit(1)
@@ -139,14 +155,17 @@ func main() {
 
 // run measures each workload: one untimed warmup op, then iters timed ops.
 // An op is a full simulation (NewSimulator + RunMeasured), matching the root
-// BenchmarkTableII, so workload-build sharing shows up in the numbers.
+// BenchmarkTableII, so workload-build sharing shows up in the numbers. With
+// sampling enabled an op is RunSampled instead, and insts/s becomes the
+// effective design-point rate: extrapolated instructions over sampled wall
+// clock, i.e. the per-point speedup shows up directly in the column.
 //
 // With parallel > 1 the workloads run concurrently on a worker pool; wall
 // clock drops but the alloc columns are zeroed, because runtime.MemStats is
 // process-global and cannot attribute allocations to one workload while
 // others run. parallel == 1 (the default) is byte-identical to the
 // historical sequential harness.
-func run(names []string, warmup, insts uint64, iters, parallel int) (*Report, error) {
+func run(names []string, warmup, insts uint64, iters, parallel int, sp uopsim.Sampling) (*Report, error) {
 	if iters < 1 {
 		iters = 1
 	}
@@ -154,12 +173,19 @@ func run(names []string, warmup, insts uint64, iters, parallel int) (*Report, er
 		parallel = runtime.NumCPU()
 	}
 	rep := &Report{Bench: "TableII", Warmup: warmup, Measure: insts, Iters: iters}
+	if sp.Enabled {
+		resolved := sp.WithDefaults(insts)
+		if err := resolved.Validate(insts); err != nil {
+			return nil, err
+		}
+		rep.Sampling = &resolved
+	}
 	cfg := uopsim.DefaultConfig()
 
 	measure := func(name string, attributeAllocs bool) (Result, error) {
 		var m uopsim.Metrics
 		var last *uopsim.Simulator
-		if _, err := uopsim.Run(cfg, name, warmup, insts); err != nil {
+		if _, err := uopsim.RunSampled(cfg, name, warmup, insts, sp); err != nil {
 			return Result{}, fmt.Errorf("%s: %w", name, err)
 		}
 		var msBefore, msAfter runtime.MemStats
@@ -174,7 +200,7 @@ func run(names []string, warmup, insts uint64, iters, parallel int) (*Report, er
 			if err != nil {
 				return Result{}, fmt.Errorf("%s: %w", name, err)
 			}
-			m, err = sim.RunMeasured(warmup, insts)
+			m, err = sim.RunSampled(warmup, insts, sp)
 			if err != nil {
 				return Result{}, fmt.Errorf("%s: %w", name, err)
 			}

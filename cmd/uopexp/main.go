@@ -42,8 +42,8 @@ func main() {
 func run() int {
 	var (
 		exp        = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
-		warmup     = flag.Uint64("warmup", 100_000, "warmup instructions per run")
-		insts      = flag.Uint64("insts", 300_000, "measured instructions per run")
+		warmup     = flag.Uint64("warmup", uopsim.DefaultWarmupInsts, "warmup instructions per run")
+		insts      = flag.Uint64("insts", uopsim.DefaultMeasureInsts, "measured instructions per run")
 		workloads  = flag.String("workloads", "", "comma-separated workload subset (default: all 13)")
 		parallel   = flag.Int("parallel", 0, "concurrent simulations (0 = all CPUs)")
 		list       = flag.Bool("list", false, "list experiments and exit")
@@ -53,6 +53,13 @@ func run() int {
 		dedupe     = flag.Bool("dedupe", true, "share design points across experiments through the in-process engine")
 		cacheDir   = flag.String("cache", "", "persist design-point results as fingerprint-named JSON blobs in this directory and reuse them across invocations")
 		cacheVer   = flag.Int("cache-verify", 0, "re-simulate every Nth disk-cached point and fail on any bit-level blob mismatch (0 = off; requires -cache)")
+		sample     = flag.Bool("sample", false, "interval-sample every design point (several-fold cheaper, metrics within the documented error bounds; see EXPERIMENTS.md)")
+		sampleK    = flag.Int("sample-intervals", 0, "sampling: measurement intervals per run (0 = default)")
+		sampleM    = flag.Uint64("sample-insts", 0, "sampling: measured instructions per interval (0 = default)")
+		sampleW    = flag.Uint64("sample-warmup", 0, "sampling: detailed-warmup instructions per interval (0 = default)")
+		sampleVal  = flag.Bool("sample-validate", false, "run the sampling error-bound harness (full vs sampled on every workload) and write -sample-report")
+		sampleBnd  = flag.Float64("sample-bound", 6.0, "sample-validate: fail if any gated metric's worst relative error exceeds this percentage")
+		sampleRep  = flag.String("sample-report", "BENCH_sampling.json", "sample-validate: machine-readable report path (\"-\" for stdout)")
 	)
 	flag.Parse()
 
@@ -105,8 +112,25 @@ func run() int {
 		MeasureInsts: *insts,
 		Parallel:     *parallel,
 	}
+	if *sample || *sampleK > 0 || *sampleM > 0 || *sampleW > 0 {
+		params.Sampling = uopsim.Sampling{
+			Enabled:       true,
+			Intervals:     *sampleK,
+			IntervalInsts: *sampleM,
+			WarmupInsts:   *sampleW,
+		}
+	}
 	if *workloads != "" {
 		params.Workloads = strings.Split(*workloads, ",")
+	}
+	if *sampleVal {
+		sp := params.Sampling
+		sp.Enabled = true
+		names := params.Workloads
+		if len(names) == 0 {
+			names = uopsim.WorkloadNames()
+		}
+		return runSampleValidate(names, *warmup, *insts, sp, *sampleBnd, *sampleRep)
 	}
 	if *dedupe {
 		eng, err := uopsim.NewRunEngine(*cacheDir, *cacheVer)

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"uopsim"
+)
+
+// The -sample-validate harness quantifies the interval-sampling trade: it
+// runs every named workload twice — full simulation, then sampled with the
+// same warmup/measure — at the paper's headline configuration
+// (CLASP+F-PWAC, 2K uops), and reports the per-workload wall-clock speedup
+// and the relative error of the three gated metrics: UPC, uop cache hit
+// rate, and uop cache fetch ratio. The worst error per metric is compared
+// against the documented bound (-sample-bound); CI's sampling-accuracy job
+// fails the build when the bound is exceeded.
+
+// sampleWorkloadResult is one workload's full-vs-sampled comparison.
+type sampleWorkloadResult struct {
+	Workload    string  `json:"workload"`
+	FullMS      float64 `json:"full_ms"`
+	SampledMS   float64 `json:"sampled_ms"`
+	Speedup     float64 `json:"speedup"`
+	UPCErrPct   float64 `json:"upc_err_pct"`
+	OCHitErrPct float64 `json:"oc_hit_err_pct"`
+	OCMixErrPct float64 `json:"oc_fetch_ratio_err_pct"`
+}
+
+// sampleAggregate summarizes a validation run: wall-clock totals and the
+// worst/mean error per gated metric across workloads.
+type sampleAggregate struct {
+	Speedup     float64 `json:"speedup"`
+	FullMS      float64 `json:"full_ms"`
+	SampledMS   float64 `json:"sampled_ms"`
+	WorstUPCPct float64 `json:"worst_upc_err_pct"`
+	MeanUPCPct  float64 `json:"mean_upc_err_pct"`
+	WorstHitPct float64 `json:"worst_oc_hit_err_pct"`
+	MeanHitPct  float64 `json:"mean_oc_hit_err_pct"`
+	WorstMixPct float64 `json:"worst_oc_fetch_ratio_err_pct"`
+	MeanMixPct  float64 `json:"mean_oc_fetch_ratio_err_pct"`
+}
+
+// sampleReport is the BENCH_sampling.json shape.
+type sampleReport struct {
+	Scheme      string                 `json:"scheme"`
+	Capacity    int                    `json:"capacity"`
+	Warmup      uint64                 `json:"warmup_insts"`
+	Measure     uint64                 `json:"measure_insts"`
+	Sampling    uopsim.Sampling        `json:"sampling"`
+	CoveragePct float64                `json:"coverage_pct"`
+	BoundPct    float64                `json:"bound_pct"`
+	Workloads   []sampleWorkloadResult `json:"workloads"`
+	Aggregate   sampleAggregate        `json:"aggregate"`
+}
+
+func relErrPct(sampled, full float64) float64 {
+	if full == 0 {
+		return 0
+	}
+	return math.Abs(sampled-full) / math.Abs(full) * 100
+}
+
+// runSampleValidate executes the harness and returns the process exit
+// code: 0 when every gated metric's worst error is within boundPct, 1 on a
+// bound violation or simulation failure. Runs are sequential so the
+// wall-clock columns measure the simulator, not the scheduler.
+func runSampleValidate(names []string, warmup, measure uint64, sp uopsim.Sampling, boundPct float64, outPath string) int {
+	cfg := uopsim.Schemes(2)[4].Configure(2048) // F-PWAC: the paper's headline design point
+	sp = sp.WithDefaults(measure)
+	if err := sp.Validate(measure); err != nil {
+		fmt.Fprintln(os.Stderr, "uopexp:", err)
+		return 2
+	}
+	rep := sampleReport{
+		Scheme:      "F-PWAC",
+		Capacity:    2048,
+		Warmup:      warmup,
+		Measure:     measure,
+		Sampling:    sp,
+		CoveragePct: sp.Coverage(measure) * 100,
+		BoundPct:    boundPct,
+	}
+
+	fmt.Printf("sampling validation: K=%d M=%d W=%d (%.1f%% of the measured region cycle-simulated), bound %.1f%%\n",
+		sp.Intervals, sp.IntervalInsts, sp.WarmupInsts, rep.CoveragePct, boundPct)
+	fmt.Printf("%-10s %9s %9s %8s %10s %10s %10s\n",
+		"workload", "full", "sampled", "speedup", "UPC err", "hit err", "mix err")
+	for _, name := range names {
+		t0 := time.Now()
+		full, err := uopsim.Run(cfg, name, warmup, measure)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uopexp: %s full run: %v\n", name, err)
+			return 1
+		}
+		fullMS := float64(time.Since(t0)) / float64(time.Millisecond)
+		t0 = time.Now()
+		sampled, err := uopsim.RunSampled(cfg, name, warmup, measure, sp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uopexp: %s sampled run: %v\n", name, err)
+			return 1
+		}
+		sampledMS := float64(time.Since(t0)) / float64(time.Millisecond)
+		r := sampleWorkloadResult{
+			Workload:    name,
+			FullMS:      fullMS,
+			SampledMS:   sampledMS,
+			Speedup:     fullMS / sampledMS,
+			UPCErrPct:   relErrPct(sampled.UPC, full.UPC),
+			OCHitErrPct: relErrPct(sampled.OCHitRate, full.OCHitRate),
+			OCMixErrPct: relErrPct(sampled.OCFetchRatio, full.OCFetchRatio),
+		}
+		rep.Workloads = append(rep.Workloads, r)
+		fmt.Printf("%-10s %8.0fms %8.0fms %7.2fx %9.2f%% %9.2f%% %9.2f%%\n",
+			name, r.FullMS, r.SampledMS, r.Speedup, r.UPCErrPct, r.OCHitErrPct, r.OCMixErrPct)
+	}
+
+	n := float64(len(rep.Workloads))
+	agg := &rep.Aggregate
+	for _, r := range rep.Workloads {
+		agg.FullMS += r.FullMS
+		agg.SampledMS += r.SampledMS
+		agg.WorstUPCPct = math.Max(agg.WorstUPCPct, r.UPCErrPct)
+		agg.WorstHitPct = math.Max(agg.WorstHitPct, r.OCHitErrPct)
+		agg.WorstMixPct = math.Max(agg.WorstMixPct, r.OCMixErrPct)
+		agg.MeanUPCPct += r.UPCErrPct / n
+		agg.MeanHitPct += r.OCHitErrPct / n
+		agg.MeanMixPct += r.OCMixErrPct / n
+	}
+	agg.Speedup = agg.FullMS / agg.SampledMS
+	fmt.Printf("aggregate: %.2fx wall-clock | UPC worst %.2f%% mean %.2f%% | hit worst %.2f%% mean %.2f%% | mix worst %.2f%% mean %.2f%%\n",
+		agg.Speedup, agg.WorstUPCPct, agg.MeanUPCPct, agg.WorstHitPct, agg.MeanHitPct, agg.WorstMixPct, agg.MeanMixPct)
+
+	if outPath != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uopexp:", err)
+			return 1
+		}
+		b = append(b, '\n')
+		if outPath == "-" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(outPath, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "uopexp:", err)
+			return 1
+		} else {
+			fmt.Printf("[report written to %s]\n", outPath)
+		}
+	}
+
+	ok := true
+	for _, g := range []struct {
+		metric string
+		worst  float64
+	}{
+		{"UPC", agg.WorstUPCPct},
+		{"OC hit rate", agg.WorstHitPct},
+		{"OC fetch ratio", agg.WorstMixPct},
+	} {
+		if g.worst > boundPct {
+			fmt.Fprintf(os.Stderr, "uopexp: %s worst-case error %.2f%% exceeds the %.1f%% bound\n", g.metric, g.worst, boundPct)
+			ok = false
+		}
+	}
+	if !ok {
+		return 1
+	}
+	fmt.Printf("all gated metrics within the %.1f%% bound\n", boundPct)
+	return 0
+}

@@ -43,6 +43,10 @@ func run() error {
 		retryDelay = flag.Duration("retry-delay", 0, "cap on per-retry sleep (0 = honor Retry-After)")
 		mode       = flag.String("mode", "simulate", "simulate (per-request /v1/simulate) or sweep (one /v1/sweep batch)")
 		timeout    = flag.Duration("timeout", 0, "per-request timeout forwarded as timeout_ms (0 = server cap)")
+		sample     = flag.Bool("sample", false, "request interval-sampled simulation for every point")
+		sampleK    = flag.Int("sample-intervals", 0, "sampling: measurement intervals per run (0 = server default)")
+		sampleM    = flag.Uint64("sample-insts", 0, "sampling: measured instructions per interval (0 = server default)")
+		sampleW    = flag.Uint64("sample-warmup", 0, "sampling: detailed-warmup instructions per interval (0 = server default)")
 	)
 	flag.Parse()
 
@@ -60,6 +64,13 @@ func run() error {
 	}
 	if *workloads != "" {
 		cfg.Workloads = strings.Split(*workloads, ",")
+	}
+	if *sample || *sampleK > 0 || *sampleM > 0 || *sampleW > 0 {
+		cfg.Sampling = &server.SamplingRequest{
+			Intervals:     *sampleK,
+			IntervalInsts: *sampleM,
+			WarmupInsts:   *sampleW,
+		}
 	}
 
 	client := server.NewClient(*url)

@@ -130,6 +130,7 @@ func TestRuncacheSafetyFixture(t *testing.T) {
 	roots := []TypeRoot{
 		{PkgPath: path, TypeName: "Config"},
 		{PkgPath: path, TypeName: "Profile"},
+		{PkgPath: path, TypeName: "Sampling"},
 	}
 	runFixture(t, "rcfix", RuncacheSafety(roots))
 }
@@ -151,7 +152,7 @@ func TestFixturesAreRealistic(t *testing.T) {
 		dir string
 		min int
 	}{
-		{"determfix", 5}, {"rcfix", 5}, {"statsfix", 4}, {"hotfix", 5},
+		{"determfix", 5}, {"rcfix", 6}, {"statsfix", 4}, {"hotfix", 5},
 	} {
 		abs, err := filepath.Abs(filepath.Join("testdata", "src", tc.dir))
 		if err != nil {
@@ -163,7 +164,7 @@ func TestFixturesAreRealistic(t *testing.T) {
 		}
 		path := pkgs[0].Path
 		analyzers := []*Analyzer{Determinism, StatsPath, Hotpath,
-			RuncacheSafety([]TypeRoot{{PkgPath: path, TypeName: "Config"}, {PkgPath: path, TypeName: "Profile"}})}
+			RuncacheSafety([]TypeRoot{{PkgPath: path, TypeName: "Config"}, {PkgPath: path, TypeName: "Profile"}, {PkgPath: path, TypeName: "Sampling"}})}
 		if n := len(Run(pkgs, analyzers)); n < tc.min {
 			t.Errorf("%s: expected at least %d findings, got %d", tc.dir, tc.min, n)
 		}

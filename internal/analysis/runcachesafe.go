@@ -17,10 +17,11 @@ type TypeRoot struct {
 
 // DefaultFingerprintRoots are the types internal/runcache feeds to Key():
 // every design-point fingerprint hashes pipeline.Config and
-// workload.Profile, so an unfingerprintable field on either silently
-// poisons the run cache.
+// workload.Profile — and, for sampled points, pipeline.Sampling — so an
+// unfingerprintable field on any of them silently poisons the run cache.
 var DefaultFingerprintRoots = []TypeRoot{
 	{PkgPath: "uopsim/internal/pipeline", TypeName: "Config"},
+	{PkgPath: "uopsim/internal/pipeline", TypeName: "Sampling"},
 	{PkgPath: "uopsim/internal/workload", TypeName: "Profile"},
 }
 

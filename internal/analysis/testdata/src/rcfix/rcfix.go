@@ -34,3 +34,12 @@ type Profile struct {
 	Seed  uint64
 	Scale map[string]float64 //uopvet:ignore runcachesafe -- fixture: suppressed case
 }
+
+// Sampling stands in for pipeline.Sampling — a root that joined the
+// fingerprint later than Config/Profile, guarding against new roots being
+// wired into runcache.Key without also being registered with the analyzer.
+type Sampling struct {
+	Enabled   bool
+	Intervals int
+	OnWindow  func(int) // want `rcfix\.Sampling\.OnWindow .* a func value carries no encodable value`
+}

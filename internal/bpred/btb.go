@@ -155,6 +155,25 @@ func (b *BTB) Lookup(lineAddr uint64, minOffset int) (br BTBBranch, penalty int,
 	return best, penalty, true
 }
 
+// WarmInsert is Insert for the sampled-run fast-forward path: when the
+// branch is already recorded identically in L1 (the common case in steady
+// state) it only refreshes that entry's recency, skipping the L2 walk and
+// rewrite. State differs from Insert only in L2 recency, which the next
+// interval's warmup window repairs.
+func (b *BTB) WarmInsert(pc uint64, kind isa.BranchKind, target uint64, length uint8) {
+	lineAddr := pc &^ uint64((1<<lineShift)-1)
+	offset := uint8(pc & ((1 << lineShift) - 1))
+	for _, e := range b.l1.lookup(lineAddr) {
+		for i := range e.branches {
+			s := &e.branches[i]
+			if s.Valid && s.Offset == offset && s.Kind == kind && s.Target == target && s.Len == length {
+				return
+			}
+		}
+	}
+	b.Insert(pc, kind, target, length)
+}
+
 // Insert records (or updates) a branch at pc. It installs into both levels.
 func (b *BTB) Insert(pc uint64, kind isa.BranchKind, target uint64, length uint8) {
 	lineAddr := pc &^ uint64((1<<lineShift)-1)

@@ -102,6 +102,16 @@ func (p *Predictor) TrainCond(pc uint64, taken bool) (predictedTaken bool) {
 	return pred.Taken
 }
 
+// WarmCond performs the correct-path predict+update pair against
+// architectural history without touching the accuracy counters. The
+// sampled-run fast-forward path trains through here: skipped branches
+// keep the direction tables and usefulness state hot, but are not
+// lookups and must not dilute the measured accuracy.
+func (p *Predictor) WarmCond(pc uint64, taken bool) {
+	pred := p.Tage.Predict(pc, p.arch)
+	p.Tage.Update(pc, p.arch, pred, taken)
+}
+
 // UpdateCond trains TAGE with the fetch-time prediction state (pred, as
 // returned by PredictCond) and the resolved outcome, in program order.
 func (p *Predictor) UpdateCond(pc uint64, pred Pred, taken bool) {
@@ -130,6 +140,15 @@ func (p *Predictor) ShadowAccuracy() float64 {
 // TrainTarget performs correct-path target training for a resolved branch.
 func (p *Predictor) TrainTarget(pc uint64, kind isa.BranchKind, target uint64, length uint8) {
 	p.BTB.Insert(pc, kind, target, length)
+	if kind == isa.BranchIndirect || kind == isa.BranchIndirectCall {
+		p.ITP.Update(pc, p.arch, target)
+	}
+}
+
+// WarmTarget is TrainTarget for the fast-forward warming path; it takes the
+// BTB's cheap already-recorded fast path (see BTB.WarmInsert).
+func (p *Predictor) WarmTarget(pc uint64, kind isa.BranchKind, target uint64, length uint8) {
+	p.BTB.WarmInsert(pc, kind, target, length)
 	if kind == isa.BranchIndirect || kind == isa.BranchIndirectCall {
 		p.ITP.Update(pc, p.arch, target)
 	}

@@ -67,6 +67,16 @@ func validatePoint(r PointResult) error {
 // lengths. Canonical encoding is reflection-based and exhaustive, so a
 // Config field added without fingerprint coverage fails Key loudly.
 func pointFingerprint(p Params, prof *workload.Profile, cfg pipeline.Config) (runcache.Fingerprint, error) {
+	if sp := p.Sampling.WithDefaults(p.MeasureInsts); sp.Enabled {
+		// Sampled points key on the resolved sampling shape under an
+		// explicit tag, so a sampled run can never alias the full
+		// simulation of the same point — and a request that spells out
+		// the default knobs shares a blob with one that elides them.
+		// Disabled sampling keeps the original part list: every blob
+		// cached before sampling existed stays addressable.
+		return runcache.Key(pipeline.SimVersion, workload.GenVersion,
+			*prof, cfg, p.WarmupInsts, p.MeasureInsts, "sampled", sp)
+	}
 	return runcache.Key(pipeline.SimVersion, workload.GenVersion,
 		*prof, cfg, p.WarmupInsts, p.MeasureInsts)
 }
@@ -76,6 +86,12 @@ func pointFingerprint(p Params, prof *workload.Profile, cfg pipeline.Config) (ru
 // spaces disjoint). Per-thread run lengths are halved exactly as the SMT
 // driver halves them.
 func smtFingerprint(p Params, profA, profB *workload.Profile, cfg pipeline.Config) (runcache.Fingerprint, error) {
+	// Sampling resolves against the per-thread measure, matching what
+	// Pair.RunSampled will actually execute.
+	if sp := p.Sampling.WithDefaults(p.MeasureInsts / 2); sp.Enabled {
+		return runcache.Key(pipeline.SimVersion, workload.GenVersion, "smt-pair",
+			*profA, *profB, cfg, p.WarmupInsts/2, p.MeasureInsts/2, "sampled", sp)
+	}
 	return runcache.Key(pipeline.SimVersion, workload.GenVersion, "smt-pair",
 		*profA, *profB, cfg, p.WarmupInsts/2, p.MeasureInsts/2)
 }
@@ -113,7 +129,7 @@ func simulatePoint(p Params, name string, cfg pipeline.Config) (PointResult, err
 	if err != nil {
 		return PointResult{}, err
 	}
-	m, err := sim.RunMeasured(p.WarmupInsts, p.MeasureInsts)
+	m, err := sim.RunSampled(p.WarmupInsts, p.MeasureInsts, p.Sampling)
 	if err != nil {
 		return PointResult{}, err
 	}

@@ -20,6 +20,15 @@ import (
 type Params struct {
 	// WarmupInsts and MeasureInsts size each simulation run.
 	WarmupInsts, MeasureInsts uint64
+	// Sampling, when Enabled, runs every design point interval-sampled
+	// (pipeline.RunSampled): only a few warmup+measure windows per run are
+	// cycle-simulated and full-run metrics are extrapolated, trading a
+	// documented metric error bound (see EXPERIMENTS.md) for a several-fold
+	// wall-clock reduction. Zero-valued knobs resolve per run against the
+	// actual measured length (per-thread for SMT points), and sampled
+	// points are fingerprinted disjointly from full ones, so the two modes
+	// never share a cache blob.
+	Sampling pipeline.Sampling
 	// Workloads restricts the workload set (nil = all 13).
 	Workloads []string
 	// Parallel runs up to this many simulations concurrently (0 = all CPUs).
@@ -41,10 +50,10 @@ type Params struct {
 
 func (p Params) withDefaults() Params {
 	if p.WarmupInsts == 0 {
-		p.WarmupInsts = 100_000
+		p.WarmupInsts = pipeline.DefaultWarmupInsts
 	}
 	if p.MeasureInsts == 0 {
-		p.MeasureInsts = 300_000
+		p.MeasureInsts = pipeline.DefaultMeasureInsts
 	}
 	if len(p.Workloads) == 0 {
 		p.Workloads = workload.Names()

@@ -35,6 +35,45 @@ type PointRequest struct {
 	// Config, when set, is the complete machine configuration and wins
 	// over Scheme/Capacity/MaxEntries.
 	Config *pipeline.Config `json:"config,omitempty"`
+	// Sampling, when present, switches the point to interval-sampled
+	// simulation; its absence requests the full run. A sampled point and
+	// the full simulation of the same point have distinct fingerprints.
+	Sampling *SamplingRequest `json:"sampling,omitempty"`
+}
+
+// SamplingRequest is the wire form of the interval-sampling knobs
+// (pipeline.Sampling minus the Enabled bit — presence on the request is the
+// enable). Zero fields resolve to the pipeline defaults against the
+// request's measure length, so {} asks for default sampling.
+type SamplingRequest struct {
+	// Intervals is the number of measurement windows (K).
+	Intervals int `json:"intervals,omitempty"`
+	// IntervalInsts is the measured instructions per window (M).
+	IntervalInsts uint64 `json:"interval_insts,omitempty"`
+	// WarmupInsts is the cycle-simulated lead-in per window (W).
+	WarmupInsts uint64 `json:"warmup_insts,omitempty"`
+}
+
+// sampling lifts the optional wire field into the pipeline form.
+func (r PointRequest) sampling() pipeline.Sampling {
+	if r.Sampling == nil {
+		return pipeline.Sampling{}
+	}
+	return pipeline.Sampling{
+		Enabled:       true,
+		Intervals:     r.Sampling.Intervals,
+		IntervalInsts: r.Sampling.IntervalInsts,
+		WarmupInsts:   r.Sampling.WarmupInsts,
+	}
+}
+
+// Mode names how the point will be simulated: "sampled" or "full". The
+// daemon labels responses and per-mode counters with it.
+func (r PointRequest) Mode() string {
+	if r.Sampling != nil {
+		return "sampled"
+	}
+	return "full"
 }
 
 // WithDefaults fills unset optional fields with the experiment defaults:
@@ -68,6 +107,11 @@ func (r PointRequest) Validate() error {
 	}
 	if r.Measure == 0 {
 		return fmt.Errorf("experiments: request needs a measure length")
+	}
+	if sp := r.sampling(); sp.Enabled {
+		if err := sp.WithDefaults(r.Measure).Validate(r.Measure); err != nil {
+			return err
+		}
 	}
 	_, err := r.BuildConfig()
 	return err
@@ -116,7 +160,7 @@ func (r PointRequest) BuildConfig() (pipeline.Config, error) {
 // params carries the request's run lengths in the shape the fingerprint
 // and simulation helpers expect.
 func (r PointRequest) params() Params {
-	return Params{WarmupInsts: r.Warmup, MeasureInsts: r.Measure}
+	return Params{WarmupInsts: r.Warmup, MeasureInsts: r.Measure, Sampling: r.sampling()}
 }
 
 // Fingerprint is the request's design-point identity: identical to the
@@ -176,6 +220,15 @@ func RequestForPoint(pt Point, p Params) PointRequest {
 		MaxEntries: pt.Scheme.MaxEntriesPerLine,
 		Warmup:     p.WarmupInsts,
 		Measure:    p.MeasureInsts,
+	}
+	if sp := p.Sampling.WithDefaults(p.MeasureInsts); sp.Enabled {
+		// Carry the resolved knobs so the wire form is explicit; resolution
+		// is idempotent, so the fingerprint matches the elided form.
+		req.Sampling = &SamplingRequest{
+			Intervals:     sp.Intervals,
+			IntervalInsts: sp.IntervalInsts,
+			WarmupInsts:   sp.WarmupInsts,
+		}
 	}
 	if sc, ok := req.WithDefaults().scheme(); !ok || sc != pt.Scheme {
 		cfg := pt.Scheme.Configure(pt.Capacity)

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"uopsim/internal/pipeline"
+	"uopsim/internal/workload"
+)
+
+// TestFingerprintCoversSamplingFields extends the exhaustiveness proof to
+// the sampling knobs: mutating ANY leaf of an enabled pipeline.Sampling
+// must change the design-point fingerprint, and a sampled point must never
+// alias the full simulation of the same point (in either key space).
+func TestFingerprintCoversSamplingFields(t *testing.T) {
+	prof, err := workload.ByName("bm_cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.DefaultConfig()
+	full := Params{WarmupInsts: 1000, MeasureInsts: 300_000}
+	fullFP, err := pointFingerprint(full, prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sampled := full
+	sampled.Sampling = pipeline.Sampling{Enabled: true}.WithDefaults(full.MeasureInsts)
+	baseFP, err := pointFingerprint(sampled, prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseFP == fullFP {
+		t.Fatal("sampled point aliases the full-simulation key space")
+	}
+
+	var paths []string
+	leafPaths(t, reflect.ValueOf(&sampled.Sampling).Elem(), "", &paths)
+	if len(paths) != 4 {
+		t.Fatalf("Sampling has %d leaves (%v), expected 4 — grew a field? extend this test's expectations", len(paths), paths)
+	}
+	for _, path := range paths {
+		p := sampled
+		setByPath(t, reflect.ValueOf(&p.Sampling).Elem(), path)
+		fp, err := pointFingerprint(p, prof, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if fp == baseFP {
+			t.Errorf("mutating Sampling%s did not change the fingerprint", path)
+		}
+		if path == ".Enabled" {
+			// Flipping Enabled off must land exactly on the full key.
+			if fp != fullFP {
+				t.Error("disabling sampling does not restore the full-simulation key")
+			}
+		} else if fp == fullFP {
+			t.Errorf("mutating Sampling%s aliased the full-simulation key", path)
+		}
+	}
+}
+
+// TestSamplingFingerprintResolvedForm: a request that elides the sampling
+// knobs and one that spells out the defaults address the same blob, and a
+// disabled Sampling — whatever junk its knobs carry — keeps the original
+// full-simulation key, so blobs cached before sampling existed stay valid.
+func TestSamplingFingerprintResolvedForm(t *testing.T) {
+	prof, err := workload.ByName("bm_cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.DefaultConfig()
+	elided := Params{MeasureInsts: 300_000, Sampling: pipeline.Sampling{Enabled: true}}
+	spelled := elided
+	spelled.Sampling = spelled.Sampling.WithDefaults(spelled.MeasureInsts)
+	a, _ := pointFingerprint(elided, prof, cfg)
+	b, _ := pointFingerprint(spelled, prof, cfg)
+	if a != b {
+		t.Error("elided and spelled-out sampling defaults map to different fingerprints")
+	}
+
+	plain := Params{MeasureInsts: 300_000}
+	junk := plain
+	junk.Sampling = pipeline.Sampling{Intervals: 99, IntervalInsts: 7, WarmupInsts: 3} // Enabled=false
+	c, _ := pointFingerprint(plain, prof, cfg)
+	d, _ := pointFingerprint(junk, prof, cfg)
+	if c != d {
+		t.Error("disabled sampling knobs leaked into the full-simulation key space")
+	}
+}
+
+// TestSMTSamplingFingerprintDisjoint: the SMT key space gets the same
+// sampled/full split, and a sampled SMT point resolves its knobs against
+// the per-thread (halved) measure — matching what Pair.RunSampled executes.
+func TestSMTSamplingFingerprintDisjoint(t *testing.T) {
+	prof, err := workload.ByName("bm_cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.DefaultConfig()
+	full := Params{WarmupInsts: 2000, MeasureInsts: 600_000}
+	fullFP, _ := smtFingerprint(full, prof, prof, cfg)
+
+	sampled := full
+	sampled.Sampling = pipeline.Sampling{Enabled: true}
+	sampledFP, _ := smtFingerprint(sampled, prof, prof, cfg)
+	if sampledFP == fullFP {
+		t.Error("sampled SMT point aliases the full SMT key")
+	}
+
+	// Spelling out the per-thread resolution must alias the elided form;
+	// the full-measure resolution must not.
+	perThread := sampled
+	perThread.Sampling = pipeline.Sampling{Enabled: true}.WithDefaults(full.MeasureInsts / 2)
+	if fp, _ := smtFingerprint(perThread, prof, prof, cfg); fp != sampledFP {
+		t.Error("SMT sampling does not resolve against the per-thread measure")
+	}
+	wholeRun := sampled
+	wholeRun.Sampling = pipeline.Sampling{Enabled: true}.WithDefaults(full.MeasureInsts)
+	if fp, _ := smtFingerprint(wholeRun, prof, prof, cfg); fp == sampledFP {
+		t.Error("full-measure and per-thread sampling resolutions collide")
+	}
+}
+
+// TestPointRequestSampling covers the wire field: presence enables
+// sampling, the fingerprint matches the equivalent Params form, Validate
+// rejects windows that cannot tile the measure, and RequestForPoint
+// carries a sweep's sampling through to the daemon form.
+func TestPointRequestSampling(t *testing.T) {
+	req := PointRequest{Workload: "bm_cc", Sampling: &SamplingRequest{}}.WithDefaults()
+	if err := req.Validate(); err != nil {
+		t.Fatalf("default sampled request invalid: %v", err)
+	}
+	if req.Mode() != "sampled" {
+		t.Errorf("Mode() = %q, want sampled", req.Mode())
+	}
+	if m := (PointRequest{Workload: "bm_cc"}.WithDefaults()).Mode(); m != "full" {
+		t.Errorf("Mode() without sampling = %q, want full", m)
+	}
+
+	// JSON round trip keeps the sampled/full distinction.
+	blob, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PointRequest
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Sampling == nil || back.Mode() != "sampled" {
+		t.Fatalf("sampling lost in JSON round trip: %s", blob)
+	}
+
+	// The request fingerprint equals the sweep-side fingerprint for the
+	// same sampled point, and differs from the full form.
+	prof, err := workload.ByName("bm_cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := req.BuildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFP, err := pointFingerprint(Params{
+		WarmupInsts:  req.Warmup,
+		MeasureInsts: req.Measure,
+		Sampling:     pipeline.Sampling{Enabled: true},
+	}, prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFP, err := req.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFP != wantFP {
+		t.Error("request fingerprint disagrees with the sweep-side sampled fingerprint")
+	}
+	fullReq := req
+	fullReq.Sampling = nil
+	if fp, err := fullReq.Fingerprint(); err != nil || fp == gotFP {
+		t.Errorf("sampled and full requests share a fingerprint (err=%v)", err)
+	}
+
+	// A window that cannot tile the measure is rejected up front.
+	bad := PointRequest{Workload: "bm_cc", Sampling: &SamplingRequest{Intervals: 4, IntervalInsts: 200_000}}.WithDefaults()
+	if err := bad.Validate(); err == nil {
+		t.Error("oversized sampling window passed Validate")
+	}
+
+	// RequestForPoint carries a sweep's sampling into the wire form with
+	// the knobs resolved, preserving the fingerprint.
+	p := Params{Sampling: pipeline.Sampling{Enabled: true}}.withDefaults()
+	carried := RequestForPoint(Point{Workload: "bm_cc", Scheme: Schemes(2)[0], Capacity: 2048}, p)
+	if carried.Sampling == nil {
+		t.Fatal("RequestForPoint dropped the sampling knobs")
+	}
+	want := pipeline.Sampling{Enabled: true}.WithDefaults(p.MeasureInsts)
+	if carried.Sampling.Intervals != want.Intervals ||
+		carried.Sampling.IntervalInsts != want.IntervalInsts ||
+		carried.Sampling.WarmupInsts != want.WarmupInsts {
+		t.Errorf("carried sampling %+v, want resolved %+v", carried.Sampling, want)
+	}
+}
+
+// TestSampledPointEngineDistinct: with the engine attached, the sampled
+// and full versions of one design point are two unique entries — two
+// simulations, two blobs — and the sampled payload still validates as a
+// completed run (extrapolated cycles, populated snapshot).
+func TestSampledPointEngineDistinct(t *testing.T) {
+	p := engineParams(t)
+	sc := Schemes(2)[0]
+	fullRun, err := runOne(p, "bm_ds", sc, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Sampling = pipeline.Sampling{Enabled: true, Intervals: 3, IntervalInsts: 2000, WarmupInsts: 600}
+	sampledRun, err := runOne(p, "bm_ds", sc, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Engine.Stats()
+	if st.Unique != 2 || st.Simulated != 2 {
+		t.Errorf("sampled and full points should be distinct engine entries: %+v", st)
+	}
+	if sampledRun.Metrics == fullRun.Metrics {
+		t.Error("sampled metrics are bit-identical to the full run — sampling did not engage")
+	}
+	if err := validatePoint(PointResult{Suite: sampledRun.Suite, Metrics: sampledRun.Metrics, Snapshot: sampledRun.Snapshot}); err != nil {
+		t.Errorf("sampled point payload fails blob validation: %v", err)
+	}
+	// The snapshot records how the numbers were obtained.
+	if v := sampledRun.Snapshot.Value("sampling.intervals"); v != 3 {
+		t.Errorf("sampling.intervals = %v, want 3", v)
+	}
+}

@@ -558,10 +558,14 @@ func (s *Sim) finishPW(next uint64) {
 
 // captureLoop statically extracts the straight-line body [pw.Start,
 // pw.TakenPC] and installs it into the loop cache when eligible.
-func (s *Sim) captureLoop(pw *fetch.PW) {
+func (s *Sim) captureLoop(pw *fetch.PW) { s.captureLoopAt(pw.Start, pw.TakenPC) }
+
+// captureLoopAt is the window-free form: the sampled-run warming path
+// drives it from the architectural stream, where no PW exists.
+func (s *Sim) captureLoopAt(start, takenPC uint64) {
 	var ids []uint32
 	uops := 0
-	addr := pw.Start
+	addr := start
 	for {
 		in := s.prog.At(addr)
 		if in == nil {
@@ -572,7 +576,7 @@ func (s *Sim) captureLoop(pw *fetch.PW) {
 		if uops > s.lc.MaxUops() {
 			return
 		}
-		if in.Addr == pw.TakenPC {
+		if in.Addr == takenPC {
 			break
 		}
 		if in.IsBranch() {
@@ -580,7 +584,7 @@ func (s *Sim) captureLoop(pw *fetch.PW) {
 		}
 		addr = in.End()
 	}
-	s.lc.Install(loopcache.Loop{Start: pw.Start, BranchPC: pw.TakenPC, InstIDs: ids, NumUops: uops})
+	s.lc.Install(loopcache.Loop{Start: start, BranchPC: takenPC, InstIDs: ids, NumUops: uops})
 }
 
 func (s *Sim) bpuStep(c int64) {

@@ -213,6 +213,10 @@ type Sim struct {
 	m   counters
 	reg *stats.Registry
 	obs Observer
+
+	// sampling, when non-nil, backs the sampling.* gauges a RunSampled
+	// call registered (see noteSampling).
+	sampling *samplingInfo
 }
 
 // setMode switches the current window's supply path, announcing the switch

@@ -136,9 +136,26 @@ func MetricsBetween(a, b Snapshot) Metrics {
 	return m
 }
 
+// Default run lengths in instructions. These are the single source of the
+// 100k/300k defaults every consumer applies: experiments.Params, the
+// daemon's PointRequest, and the command-line flag defaults all resolve
+// zero lengths through these constants.
+const (
+	DefaultWarmupInsts  uint64 = 100_000
+	DefaultMeasureInsts uint64 = 300_000
+)
+
+// errZeroMeasure rejects a zero-length measurement interval: metrics over
+// an empty interval are all zero and silently poison downstream
+// aggregation, so asking for one is always a caller bug.
+var errZeroMeasure = fmt.Errorf("pipeline: measurement interval must be positive (zero lengths are resolved by the caller's defaults, not here)")
+
 // RunMeasured runs warmup instructions, snapshots, runs measure
 // instructions, and returns metrics over the measured interval.
 func (s *Sim) RunMeasured(warmup, measure uint64) (Metrics, error) {
+	if measure == 0 {
+		return Metrics{}, errZeroMeasure
+	}
 	if warmup > 0 {
 		if err := s.Run(warmup); err != nil {
 			return Metrics{}, err

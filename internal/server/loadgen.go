@@ -40,6 +40,10 @@ type LoadConfig struct {
 	RetryDelay time.Duration
 	// TimeoutMS is forwarded as each request's timeout_ms.
 	TimeoutMS int64
+	// Sampling, when set, attaches the interval-sampling knobs to every
+	// point in the mix, exercising the daemon's sampled path (distinct
+	// fingerprints, mode-labeled counters).
+	Sampling *experiments.SamplingRequest
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -80,6 +84,7 @@ func (c LoadConfig) points() []experiments.PointRequest {
 					Capacity: cap,
 					Warmup:   c.Warmup,
 					Measure:  c.Measure,
+					Sampling: c.Sampling,
 				}.WithDefaults())
 				if len(pts) == c.Unique {
 					return pts
@@ -100,9 +105,12 @@ type LoadReport struct {
 	// Resolutions counts OK responses by how the server resolved them
 	// (simulated / memo / disk).
 	Resolutions map[string]int
-	P50, P90    time.Duration
-	P99, Max    time.Duration
-	Elapsed     time.Duration
+	// Modes counts OK responses by simulation mode (sampled / full), as
+	// reported by the server's mode field.
+	Modes    map[string]int
+	P50, P90 time.Duration
+	P99, Max time.Duration
+	Elapsed  time.Duration
 }
 
 // Deduped is the number of OK responses served without a fresh
@@ -112,12 +120,14 @@ func (r LoadReport) Deduped() int {
 }
 
 // String renders the stable one-line summary CI greps
-// (requests=… ok=… failed=… status429=… retries=… deduped=…), followed by
-// the latency percentiles and the per-resolution breakdown.
+// (requests=… ok=… failed=… status429=… retries=… deduped=…), the equally
+// stable mode breakdown (modes sampled=… full=…), then the latency
+// percentiles and the per-resolution breakdown.
 func (r LoadReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "requests=%d ok=%d failed=%d status429=%d retries=%d deduped=%d\n",
 		r.Requests, r.OK, r.Failed, r.Status429, r.Retries, r.Deduped())
+	fmt.Fprintf(&b, "modes sampled=%d full=%d\n", r.Modes["sampled"], r.Modes["full"])
 	fmt.Fprintf(&b, "latency p50=%s p90=%s p99=%s max=%s elapsed=%s\n",
 		r.P50.Round(time.Millisecond), r.P90.Round(time.Millisecond),
 		r.P99.Round(time.Millisecond), r.Max.Round(time.Millisecond),
@@ -170,7 +180,7 @@ func RunLoad(client *Client, cfg LoadConfig) (LoadReport, error) {
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
-		report    = LoadReport{Requests: cfg.Requests, Resolutions: map[string]int{}}
+		report    = LoadReport{Requests: cfg.Requests, Resolutions: map[string]int{}, Modes: map[string]int{}}
 	)
 	jobs := make(chan experiments.PointRequest)
 	var wg sync.WaitGroup
@@ -194,6 +204,7 @@ func RunLoad(client *Client, cfg LoadConfig) (LoadReport, error) {
 				} else {
 					report.OK++
 					report.Resolutions[resp.Resolution]++
+					report.Modes[resp.Mode]++
 					latencies = append(latencies, lat)
 				}
 				mu.Unlock()
@@ -260,7 +271,7 @@ func RunSweep(client *Client, cfg LoadConfig) (LoadReport, error) {
 	}
 	rng.Shuffle(len(reqs), func(i, j int) { reqs[i], reqs[j] = reqs[j], reqs[i] })
 
-	report := LoadReport{Requests: cfg.Requests, Resolutions: map[string]int{}}
+	report := LoadReport{Requests: cfg.Requests, Resolutions: map[string]int{}, Modes: map[string]int{}}
 	seen := make([]bool, len(reqs))
 	start := time.Now()
 	err := client.Sweep(SweepRequest{Points: reqs, TimeoutMS: cfg.TimeoutMS}, func(line SweepLine) error {
@@ -277,6 +288,7 @@ func RunSweep(client *Client, cfg LoadConfig) (LoadReport, error) {
 		}
 		report.OK++
 		report.Resolutions[line.Resolution]++
+		report.Modes[line.Mode]++
 		return nil
 	})
 	report.Elapsed = time.Since(start)

@@ -25,6 +25,8 @@ type metrics struct {
 	failed        stats.Counter // resolutions that returned an error
 	expired       stats.Counter // deadline passed before a worker picked it up
 	timeouts      stats.Counter // handler stopped waiting (504)
+	simSampled    stats.Counter // completed resolutions of interval-sampled points
+	simFull       stats.Counter // completed resolutions of full-simulation points
 	latency       *stats.Hist   // resolution latency, milliseconds
 	latMean       stats.Mean    // same, as a running mean (Retry-After hints)
 }
@@ -42,6 +44,9 @@ func newMetrics(eng *experiments.Engine, p *pool) *metrics {
 	sc.RegisterCounter("failed", &m.failed)
 	sc.RegisterCounter("expired", &m.expired)
 	sc.RegisterCounter("timeouts", &m.timeouts)
+	sim := sc.Scope("simulations")
+	sim.RegisterCounter("sampled", &m.simSampled)
+	sim.RegisterCounter("full", &m.simFull)
 	sc.RegisterHist("latency_ms", m.latency)
 	sc.RegisterMean("latency_mean_ms", &m.latMean)
 	sc.RegisterGauge("workers", func() float64 { return float64(p.workers) })
@@ -59,18 +64,32 @@ func (m *metrics) inc(c *stats.Counter) {
 	m.mu.Unlock()
 }
 
-// observe records one finished resolution: outcome counter plus latency.
-func (m *metrics) observe(d time.Duration, err error) {
+// observe records one finished resolution: outcome counter plus latency,
+// with successes split by simulation mode ("sampled" or "full"), so
+// sampled+full always equals completed.
+func (m *metrics) observe(d time.Duration, mode string, err error) {
 	ms := d.Milliseconds()
 	m.mu.Lock()
 	if err != nil {
 		m.failed.Inc()
 	} else {
 		m.completed.Inc()
+		if mode == "sampled" {
+			m.simSampled.Inc()
+		} else {
+			m.simFull.Inc()
+		}
 	}
 	m.latency.Observe(int(ms))
 	m.latMean.Observe(float64(ms))
 	m.mu.Unlock()
+}
+
+// modes reads the per-mode completion counters (sampled, full).
+func (m *metrics) modes() (sampled, full uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.simSampled.Value(), m.simFull.Value()
 }
 
 // meanLatency is the running mean resolution time (0 before any finish).

@@ -116,6 +116,10 @@ func (s *Server) Engine() *experiments.Engine { return s.eng }
 // already fsynced to its blob, so draining is all the flushing there is.
 func (s *Server) Drain() { s.pool.Drain() }
 
+// SamplingRequest re-exports the wire form of the interval-sampling knobs
+// for clients (cmd/uopload) that only import this package.
+type SamplingRequest = experiments.SamplingRequest
+
 // SimulateRequest is /v1/simulate's body: one point plus an optional
 // per-request deadline.
 type SimulateRequest struct {
@@ -127,13 +131,16 @@ type SimulateRequest struct {
 
 // SimulateResponse is /v1/simulate's 200 body.
 type SimulateResponse struct {
-	Workload    string                  `json:"workload"`
-	Scheme      string                  `json:"scheme,omitempty"`
-	Capacity    int                     `json:"capacity,omitempty"`
-	Fingerprint string                  `json:"fingerprint"`
-	Resolution  string                  `json:"resolution"`
-	ElapsedMS   float64                 `json:"elapsed_ms"`
-	Result      experiments.PointResult `json:"result"`
+	Workload    string `json:"workload"`
+	Scheme      string `json:"scheme,omitempty"`
+	Capacity    int    `json:"capacity,omitempty"`
+	Fingerprint string `json:"fingerprint"`
+	Resolution  string `json:"resolution"`
+	// Mode is how the point was simulated: "sampled" (interval-sampled
+	// with extrapolated metrics) or "full".
+	Mode      string                  `json:"mode"`
+	ElapsedMS float64                 `json:"elapsed_ms"`
+	Result    experiments.PointResult `json:"result"`
 }
 
 // SweepRequest is /v1/sweep's body: a batch of points resolved under one
@@ -150,6 +157,7 @@ type SweepLine struct {
 	Workload   string                   `json:"workload"`
 	Scheme     string                   `json:"scheme,omitempty"`
 	Resolution string                   `json:"resolution,omitempty"`
+	Mode       string                   `json:"mode,omitempty"`
 	ElapsedMS  float64                  `json:"elapsed_ms"`
 	Error      string                   `json:"error,omitempty"`
 	Result     *experiments.PointResult `json:"result,omitempty"`
@@ -170,12 +178,20 @@ type PoolStats struct {
 	Timeouts         uint64 `json:"timeouts"`
 }
 
+// SimulationModes splits completed resolutions by simulation mode;
+// Sampled+Full equals the pool's Completed counter.
+type SimulationModes struct {
+	Sampled uint64 `json:"sampled"`
+	Full    uint64 `json:"full"`
+}
+
 // StatsResponse is /v1/stats: engine resolution counters (the dedupe
-// evidence) plus pool counters.
+// evidence) plus pool counters and the sampled/full completion split.
 type StatsResponse struct {
-	Engine        runcache.Stats `json:"engine"`
-	Pool          PoolStats      `json:"pool"`
-	UptimeSeconds float64        `json:"uptime_seconds"`
+	Engine        runcache.Stats  `json:"engine"`
+	Pool          PoolStats       `json:"pool"`
+	Simulations   SimulationModes `json:"simulations"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
 }
 
 // errorBody is every non-2xx JSON payload.
@@ -280,11 +296,12 @@ func (s *Server) resolveOne(ctx context.Context, pt experiments.PointRequest, wa
 		how  runcache.Resolution
 		rerr error
 	)
+	mode := pt.Mode()
 	start := time.Now()
 	t, err := s.pool.submit(ctx, func() {
 		t0 := time.Now()
 		res, how, rerr = s.resolve(pt)
-		s.met.observe(time.Since(t0), rerr)
+		s.met.observe(time.Since(t0), mode, rerr)
 	}, wait)
 	if err != nil {
 		switch {
@@ -320,6 +337,7 @@ func (s *Server) resolveOne(ctx context.Context, pt experiments.PointRequest, wa
 		Capacity:    pt.Capacity,
 		Fingerprint: string(fp),
 		Resolution:  how.String(),
+		Mode:        mode,
 		ElapsedMS:   float64(time.Since(start)) / float64(time.Millisecond),
 		Result:      res,
 	}, http.StatusOK, nil
@@ -402,6 +420,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				line.Error = err.Error()
 			} else {
 				line.Resolution = resp.Resolution
+				line.Mode = resp.Mode
 				line.ElapsedMS = resp.ElapsedMS
 				line.Result = &resp.Result
 			}
@@ -446,10 +465,12 @@ func (s *Server) statsResponse() StatsResponse {
 		Expired:          m.expired.Value(),
 		Timeouts:         m.timeouts.Value(),
 	}
+	modes := SimulationModes{Sampled: m.simSampled.Value(), Full: m.simFull.Value()}
 	m.mu.Unlock()
 	return StatsResponse{
 		Engine:        s.eng.Stats(),
 		Pool:          pool,
+		Simulations:   modes,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
 }
@@ -466,4 +487,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.snapshot().WritePrometheus(w, "uopsimd")
+	// The registry's exposition has no label support; the per-mode split is
+	// the one place a label is the idiomatic shape, so append it by hand.
+	sampled, full := s.met.modes()
+	fmt.Fprintf(w, "# TYPE uopsimd_simulations_total counter\n")
+	fmt.Fprintf(w, "uopsimd_simulations_total{mode=\"sampled\"} %d\n", sampled)
+	fmt.Fprintf(w, "uopsimd_simulations_total{mode=\"full\"} %d\n", full)
 }

@@ -473,3 +473,102 @@ func TestMetricsEndpoint(t *testing.T) {
 		}
 	}
 }
+
+// TestSampledSimulateEndToEnd drives a sampled point through the real
+// engine: the response is labeled mode=sampled, the sampled and full forms
+// of one point get distinct fingerprints (two simulations), /v1/stats
+// reports the mode split, and /metrics exposes the labeled total.
+func TestSampledSimulateEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, MaxInsts: 500_000})
+	client := NewClient(ts.URL)
+	pt := experiments.PointRequest{Workload: "bm_cc", Warmup: 5_000, Measure: 60_000}
+	full, err := client.Simulate(SimulateRequest{PointRequest: pt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Mode != "full" {
+		t.Fatalf("mode = %q, want full", full.Mode)
+	}
+	pt.Sampling = &SamplingRequest{Intervals: 3, IntervalInsts: 4_000, WarmupInsts: 1_000}
+	sampled, err := client.Simulate(SimulateRequest{PointRequest: pt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.Mode != "sampled" {
+		t.Fatalf("mode = %q, want sampled", sampled.Mode)
+	}
+	if sampled.Fingerprint == full.Fingerprint {
+		t.Fatal("sampled and full requests share a fingerprint")
+	}
+	if sampled.Result.Metrics == full.Result.Metrics {
+		t.Fatal("sampled metrics bit-identical to full run — sampling did not engage")
+	}
+	if st := s.Engine().Stats(); st.Simulated != 2 || st.Unique != 2 {
+		t.Fatalf("engine stats %+v, want 2 unique simulations", st)
+	}
+
+	wire, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire.Simulations.Sampled != 1 || wire.Simulations.Full != 1 {
+		t.Fatalf("/v1/stats simulations = %+v, want sampled=1 full=1", wire.Simulations)
+	}
+	if wire.Simulations.Sampled+wire.Simulations.Full != wire.Pool.Completed {
+		t.Fatalf("mode split %+v does not sum to completed=%d", wire.Simulations, wire.Pool.Completed)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`uopsimd_simulations_total{mode="sampled"} 1`,
+		`uopsimd_simulations_total{mode="full"} 1`,
+		"uopsimd_server_simulations_sampled 1",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, buf.String())
+		}
+	}
+
+	// A sampled sweep line carries the mode too.
+	var modes []string
+	err = client.Sweep(SweepRequest{Points: []experiments.PointRequest{pt}}, func(line SweepLine) error {
+		if line.Error != "" {
+			return fmt.Errorf("sweep line error: %s", line.Error)
+		}
+		modes = append(modes, line.Mode)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(modes) != 1 || modes[0] != "sampled" {
+		t.Fatalf("sweep modes = %v, want [sampled]", modes)
+	}
+}
+
+// TestSampledRequestValidation: malformed sampling configurations are a
+// 400, not a worker-side failure.
+func TestSampledRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxInsts: 500_000})
+	body := `{"workload":"bm_cc","measure":10000,"sampling":{"intervals":4,"interval_insts":9000}}`
+	resp := postJSON(t, ts.URL+"/v1/simulate", body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(eb.Error, "stride") {
+		t.Fatalf("error %q does not explain the stride violation", eb.Error)
+	}
+}

@@ -84,6 +84,9 @@ func (p *Pair) Run(instsPerThread uint64) error {
 // RunMeasured runs warmup then measure instructions per thread and returns
 // per-thread metrics over the measured interval.
 func (p *Pair) RunMeasured(warmup, measure uint64) (a, b pipeline.Metrics, err error) {
+	if measure == 0 {
+		return a, b, fmt.Errorf("smt: measurement interval must be positive")
+	}
 	if warmup > 0 {
 		if err := p.Run(warmup); err != nil {
 			return a, b, err
@@ -94,4 +97,50 @@ func (p *Pair) RunMeasured(warmup, measure uint64) (a, b pipeline.Metrics, err e
 		return a, b, err
 	}
 	return pipeline.MetricsBetween(sa, p.A.Snapshot()), pipeline.MetricsBetween(sb, p.B.Snapshot()), nil
+}
+
+// RunSampled is the interval-sampled counterpart of RunMeasured: both
+// threads fast-forward architecturally between measurement windows (each
+// thread consuming its own walker), and each window is cycle-simulated
+// with the usual round-robin interleave so the shared uop cache keeps
+// seeing both threads' fills. Lengths are per thread, mirroring
+// RunMeasured.
+func (p *Pair) RunSampled(warmup, measure uint64, sp pipeline.Sampling) (a, b pipeline.Metrics, err error) {
+	if measure == 0 {
+		return a, b, fmt.Errorf("smt: measurement interval must be positive")
+	}
+	sp = sp.WithDefaults(measure)
+	if err := sp.Validate(measure); err != nil {
+		return a, b, err
+	}
+	if !sp.Enabled {
+		return p.RunMeasured(warmup, measure)
+	}
+
+	var aggA, aggB pipeline.Snapshot
+	var skipped, simulated uint64
+	skip := func(n uint64) {
+		p.A.FastForward(n)
+		p.B.FastForward(n)
+		skipped += n
+	}
+	skip(warmup)
+	for i := 0; i < sp.Intervals; i++ {
+		pre, post := sp.IntervalLead(i, measure)
+		skip(pre)
+		if err := p.Run(sp.WarmupInsts); err != nil {
+			return a, b, err
+		}
+		sa, sb := p.A.Snapshot(), p.B.Snapshot()
+		if err := p.Run(sp.IntervalInsts); err != nil {
+			return a, b, err
+		}
+		pipeline.AddSnapshotDelta(&aggA, sa, p.A.Snapshot())
+		pipeline.AddSnapshotDelta(&aggB, sb, p.B.Snapshot())
+		simulated += sp.WarmupInsts + sp.IntervalInsts
+		skip(post)
+	}
+	p.A.NoteSampling(sp, measure, skipped, simulated)
+	p.B.NoteSampling(sp, measure, skipped, simulated)
+	return pipeline.Extrapolate(aggA, measure), pipeline.Extrapolate(aggB, measure), nil
 }

@@ -51,6 +51,22 @@ type WorkloadSpec = workload.Profile
 // Scheme is one uop cache design point (baseline, CLASP, RAC, PWAC, F-PWAC).
 type Scheme = experiments.Scheme
 
+// Sampling configures interval-sampled simulation: only Intervals
+// warmup+measure windows of the measured region are cycle-simulated (the
+// rest fast-forwards architecturally, warming predictors and caches) and
+// full-run Metrics are extrapolated from the windows. Attach one to
+// ExperimentParams.Sampling or pass it to RunSampled. Zero knobs resolve
+// against the measured length; see EXPERIMENTS.md for the measured error
+// bounds.
+type Sampling = pipeline.Sampling
+
+// Default per-run lengths, shared by the command-line flag defaults and
+// the zero-value resolution in ExperimentParams.
+const (
+	DefaultWarmupInsts  = pipeline.DefaultWarmupInsts
+	DefaultMeasureInsts = pipeline.DefaultMeasureInsts
+)
+
 // ExperimentParams scales experiment runs.
 type ExperimentParams = experiments.Params
 
@@ -174,6 +190,17 @@ func Run(cfg Config, workloadName string, warmup, measure uint64) (Metrics, erro
 		return Metrics{}, err
 	}
 	return sim.RunMeasured(warmup, measure)
+}
+
+// RunSampled is Run under interval sampling: several-fold cheaper, with
+// metrics extrapolated from the sampled windows (see Sampling). A disabled
+// sp is exactly Run.
+func RunSampled(cfg Config, workloadName string, warmup, measure uint64, sp Sampling) (Metrics, error) {
+	sim, err := NewSimulator(cfg, workloadName)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return sim.RunSampled(warmup, measure, sp)
 }
 
 // Experiments lists the available experiment IDs and titles in paper order.

@@ -94,6 +94,7 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: TableII bench set)")
 		parallel  = flag.Int("parallel", 1, "concurrent simulations (0 = all CPUs; >1 disables the alloc columns, which are only attributable sequentially)")
 		cacheDir  = flag.String("cache", "", "golden mode only: design-point cache directory (the throughput harness never caches — it must measure real simulation)")
+		whDir     = flag.String("warehouse", "", "golden mode only: indexed warehouse backend instead of a flat -cache dir")
 		sample    = flag.Bool("sample", false, "measure interval-sampled simulation (RunSampled) instead of full runs")
 		sampleK   = flag.Int("sample-intervals", 0, "sampling: measurement intervals per run (0 = default)")
 		sampleM   = flag.Uint64("sample-insts", 0, "sampling: measured instructions per interval (0 = default)")
@@ -101,15 +102,19 @@ func main() {
 	)
 	flag.Parse()
 
+	if *cacheDir != "" && *whDir != "" {
+		fmt.Fprintln(os.Stderr, "uopbench: -cache and -warehouse are mutually exclusive backends; pick one")
+		os.Exit(2)
+	}
 	if *golden != "" {
-		if err := writeGolden(*golden, *parallel, *cacheDir); err != nil {
+		if err := writeGolden(*golden, *parallel, *cacheDir, *whDir); err != nil {
 			fmt.Fprintln(os.Stderr, "uopbench:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if *cacheDir != "" {
-		fmt.Fprintln(os.Stderr, "uopbench: -cache only applies to -golden (a cached benchmark would measure disk reads, not the simulator)")
+	if *cacheDir != "" || *whDir != "" {
+		fmt.Fprintln(os.Stderr, "uopbench: -cache/-warehouse only apply to -golden (a cached benchmark would measure disk reads, not the simulator)")
 		os.Exit(2)
 	}
 
@@ -264,10 +269,10 @@ func run(names []string, warmup, insts uint64, iters, parallel int, sp uopsim.Sa
 
 // writeGolden dumps exact metrics for every scheme x workload point, routed
 // through the shared design-point engine so the dump can run in parallel
-// and, with a cache directory, reuse blobs from previous invocations. The
-// point order — and therefore the file — is identical to the historical
-// sequential loop.
-func writeGolden(path string, parallel int, cacheDir string) error {
+// and, with a cache directory or warehouse, reuse blobs from previous
+// invocations. The point order — and therefore the file — is identical to
+// the historical sequential loop.
+func writeGolden(path string, parallel int, cacheDir, whDir string) error {
 	var pts []uopsim.DesignPoint
 	for _, name := range uopsim.WorkloadNames() {
 		for _, sc := range uopsim.Schemes(2) {
@@ -279,9 +284,21 @@ func writeGolden(path string, parallel int, cacheDir string) error {
 		MeasureInsts: goldenMeasure,
 		Parallel:     parallel,
 	}
-	eng, err := uopsim.NewRunEngine(cacheDir, 0)
-	if err != nil {
-		return err
+	var eng *uopsim.RunEngine
+	if whDir != "" {
+		var ws *uopsim.ResultsWarehouse
+		var err error
+		eng, ws, err = uopsim.NewWarehouseRunEngine(whDir, uopsim.WarehouseOptions{}, 0)
+		if err != nil {
+			return err
+		}
+		defer ws.Close()
+	} else {
+		var err error
+		eng, err = uopsim.NewRunEngine(cacheDir, 0)
+		if err != nil {
+			return err
+		}
 	}
 	params.Engine = eng
 	runs, err := uopsim.RunDesignPoints(params, pts)
@@ -294,7 +311,7 @@ func writeGolden(path string, parallel int, cacheDir string) error {
 			Workload: pts[i].Workload, Scheme: pts[i].Scheme.Name, Capacity: 2048, Metrics: r.Metrics,
 		})
 	}
-	if cacheDir != "" {
+	if cacheDir != "" || whDir != "" {
 		fmt.Fprintf(os.Stderr, "[engine: %s]\n", eng.Stats())
 	}
 	return writeJSON(path, gf)

@@ -10,6 +10,8 @@
 //	uopexp -exp fig3 -metrics snapshots.json
 //	uopexp -exp all -cache .uopcache            # persist design points
 //	uopexp -exp all -cache .uopcache -cache-verify 4
+//	uopexp -exp all -warehouse .uopwh           # indexed warehouse backend
+//	uopexp -exp all -warehouse .uopwh -migrate-from .uopcache
 //
 // Every design point is routed through a shared engine that simulates each
 // unique (workload, config, run-length) fingerprint exactly once per
@@ -52,7 +54,10 @@ func run() int {
 		metricsOut = flag.String("metrics", "", "collect every run's full metrics registry snapshot into this JSON file")
 		dedupe     = flag.Bool("dedupe", true, "share design points across experiments through the in-process engine")
 		cacheDir   = flag.String("cache", "", "persist design-point results as fingerprint-named JSON blobs in this directory and reuse them across invocations")
-		cacheVer   = flag.Int("cache-verify", 0, "re-simulate every Nth disk-cached point and fail on any bit-level blob mismatch (0 = off; requires -cache)")
+		cacheVer   = flag.Int("cache-verify", 0, "re-simulate every Nth disk-cached point and fail on any bit-level blob mismatch (0 = off; requires -cache or -warehouse)")
+		whDir      = flag.String("warehouse", "", "persist design points in an indexed warehouse (segment files) at this directory instead of a flat -cache dir; enables feature queries over stored results")
+		whMaxBytes = flag.Int64("warehouse-max-bytes", 0, "evict least-recently-used warehouse records past this byte budget (0 = unbounded; requires -warehouse)")
+		migrateDir = flag.String("migrate-from", "", "import a legacy flat -cache directory into the -warehouse before running (blobs travel verbatim)")
 		sample     = flag.Bool("sample", false, "interval-sample every design point (several-fold cheaper, metrics within the documented error bounds; see EXPERIMENTS.md)")
 		sampleK    = flag.Int("sample-intervals", 0, "sampling: measurement intervals per run (0 = default)")
 		sampleM    = flag.Uint64("sample-insts", 0, "sampling: measured instructions per interval (0 = default)")
@@ -63,12 +68,20 @@ func run() int {
 	)
 	flag.Parse()
 
-	if *cacheVer > 0 && *cacheDir == "" {
-		fmt.Fprintln(os.Stderr, "uopexp: -cache-verify requires -cache")
+	if *cacheDir != "" && *whDir != "" {
+		fmt.Fprintln(os.Stderr, "uopexp: -cache and -warehouse are mutually exclusive backends; pick one (migrate with -warehouse DIR -migrate-from OLDCACHE)")
 		return 2
 	}
-	if *cacheDir != "" && !*dedupe {
-		fmt.Fprintln(os.Stderr, "uopexp: -cache requires the engine (-dedupe=true)")
+	if *cacheVer > 0 && *cacheDir == "" && *whDir == "" {
+		fmt.Fprintln(os.Stderr, "uopexp: -cache-verify requires -cache or -warehouse")
+		return 2
+	}
+	if (*cacheDir != "" || *whDir != "") && !*dedupe {
+		fmt.Fprintln(os.Stderr, "uopexp: -cache/-warehouse require the engine (-dedupe=true)")
+		return 2
+	}
+	if (*migrateDir != "" || *whMaxBytes != 0) && *whDir == "" {
+		fmt.Fprintln(os.Stderr, "uopexp: -migrate-from and -warehouse-max-bytes require -warehouse")
 		return 2
 	}
 
@@ -132,13 +145,33 @@ func run() int {
 		}
 		return runSampleValidate(names, *warmup, *insts, sp, *sampleBnd, *sampleRep)
 	}
+	var wh *uopsim.ResultsWarehouse
 	if *dedupe {
-		eng, err := uopsim.NewRunEngine(*cacheDir, *cacheVer)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "uopexp:", err)
-			return 1
+		if *whDir != "" {
+			eng, ws, err := uopsim.NewWarehouseRunEngine(*whDir, uopsim.WarehouseOptions{MaxBytes: *whMaxBytes}, *cacheVer)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "uopexp:", err)
+				return 1
+			}
+			defer ws.Close()
+			wh = ws
+			if *migrateDir != "" {
+				n, err := ws.ImportDir(*migrateDir)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "uopexp:", err)
+					return 1
+				}
+				fmt.Fprintf(os.Stderr, "[warehouse: imported %d legacy blobs from %s]\n", n, *migrateDir)
+			}
+			params.Engine = eng
+		} else {
+			eng, err := uopsim.NewRunEngine(*cacheDir, *cacheVer)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "uopexp:", err)
+				return 1
+			}
+			params.Engine = eng
 		}
-		params.Engine = eng
 	}
 	var collected []runSnapshot
 	if *metricsOut != "" {
@@ -181,6 +214,9 @@ func run() int {
 		// stderr, deliberately: stdout must stay byte-identical whether
 		// points were simulated, memoized, or loaded from disk.
 		fmt.Fprintf(os.Stderr, "[engine: %s]\n", params.Engine.Stats())
+	}
+	if wh != nil {
+		fmt.Fprintf(os.Stderr, "[warehouse: %s]\n", wh)
 	}
 	return 0
 }

@@ -8,11 +8,20 @@
 //
 // Usage:
 //
+// With -mode query it instead reads results the daemon already stores: the
+// request goes to /v1/query (warehouse-backed daemons only) with -where
+// feature predicates and -metrics selectors, and rows come back as NDJSON
+// on stdout in ascending fingerprint order — stable enough to diff.
+//
+// Usage:
+//
 //	uopload -url http://localhost:8077 -n 50 -unique 10 -c 8
 //	uopload -url http://localhost:8077 -mode sweep -n 50 -unique 10
+//	uopload -url http://localhost:8077 -mode query -where workload=bm_cc -metrics upc,oc_fetch_ratio
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,7 +50,11 @@ func run() error {
 		seed       = flag.Int64("seed", 1, "shuffle seed")
 		retries    = flag.Int("retries", 3, "429 retries per request (negative disables)")
 		retryDelay = flag.Duration("retry-delay", 0, "cap on per-retry sleep (0 = honor Retry-After)")
-		mode       = flag.String("mode", "simulate", "simulate (per-request /v1/simulate) or sweep (one /v1/sweep batch)")
+		mode       = flag.String("mode", "simulate", "simulate (per-request /v1/simulate), sweep (one /v1/sweep batch), or query (read stored results from /v1/query)")
+		where      = flag.String("where", "", "query: comma-separated key=value feature predicates (e.g. workload=bm_cc,config.uopcache.capacityuops=2048)")
+		metrics    = flag.String("metrics", "", "query: comma-separated metrics to project per row (empty = upc)")
+		qLimit     = flag.Int("query-limit", 0, "query: cap on returned rows (0 = unlimited)")
+		qFeatures  = flag.Bool("query-features", false, "query: include each row's stored feature vector")
 		timeout    = flag.Duration("timeout", 0, "per-request timeout forwarded as timeout_ms (0 = server cap)")
 		sample     = flag.Bool("sample", false, "request interval-sampled simulation for every point")
 		sampleK    = flag.Int("sample-intervals", 0, "sampling: measurement intervals per run (0 = server default)")
@@ -78,6 +91,10 @@ func run() error {
 		return fmt.Errorf("daemon not healthy at %s: %w", *url, err)
 	}
 
+	if *mode == "query" {
+		return runQuery(client, *where, *metrics, *qLimit, *qFeatures)
+	}
+
 	var (
 		report server.LoadReport
 		err    error
@@ -88,7 +105,7 @@ func run() error {
 	case "sweep":
 		report, err = server.RunSweep(client, cfg)
 	default:
-		return fmt.Errorf("unknown -mode %q (simulate or sweep)", *mode)
+		return fmt.Errorf("unknown -mode %q (simulate, sweep, or query)", *mode)
 	}
 	if err != nil {
 		return err
@@ -103,5 +120,36 @@ func run() error {
 	if report.Failed > 0 {
 		return fmt.Errorf("%d of %d requests failed", report.Failed, report.Requests)
 	}
+	return nil
+}
+
+// runQuery streams /v1/query rows to stdout as NDJSON. Row order (ascending
+// fingerprint) and encoding come from the daemon, so two queries of
+// identical stores diff byte-identically.
+func runQuery(client *server.Client, where, metrics string, limit int, features bool) error {
+	req := server.QueryRequest{Limit: limit, IncludeFeatures: features}
+	if where != "" {
+		req.Where = make(map[string]string)
+		for _, pred := range strings.Split(where, ",") {
+			k, v, ok := strings.Cut(pred, "=")
+			if !ok || k == "" {
+				return fmt.Errorf("bad -where predicate %q (want key=value)", pred)
+			}
+			req.Where[k] = v
+		}
+	}
+	if metrics != "" {
+		req.Metrics = strings.Split(metrics, ",")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	rows := 0
+	err := client.Query(req, func(row server.QueryRow) error {
+		rows++
+		return enc.Encode(row)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "uopload: %d rows\n", rows)
 	return nil
 }

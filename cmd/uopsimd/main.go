@@ -6,10 +6,18 @@
 // -cache attached results persist across restarts and are shared with
 // uopexp sweeps pointed at the same directory.
 //
+// With -warehouse the daemon persists results in an indexed segment store
+// instead of a flat blob dir and additionally serves /v1/query: NDJSON rows
+// of stored results filtered by feature predicates (workload, suite,
+// config.* fields) with selectable metrics — figures can be rendered from
+// data the daemon already holds, without simulating anything.
+//
 // Usage:
 //
 //	uopsimd -addr :8077 -workers 4 -cache /var/tmp/uopsim-cache
+//	uopsimd -addr :8077 -warehouse /var/tmp/uopsim-wh -migrate-from /var/tmp/uopsim-cache
 //	curl -s localhost:8077/v1/simulate -d '{"workload":"bm_cc","scheme":"clasp"}'
+//	curl -s localhost:8077/v1/query -d '{"where":{"workload":"bm_cc"},"metrics":["upc","oc_fetch_ratio"]}'
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 
 	"uopsim/internal/experiments"
 	"uopsim/internal/server"
+	"uopsim/internal/warehouse"
 )
 
 func main() {
@@ -42,6 +51,9 @@ func run() error {
 		queue        = flag.Int("queue", 0, "admission queue depth (0 = 4×workers); a full queue answers 429")
 		cacheDir     = flag.String("cache", "", "result cache directory shared with uopexp (empty = in-memory only)")
 		cacheVerify  = flag.Int("cache-verify", 0, "re-simulate every Nth disk hit and compare (0 = trust blobs)")
+		whDir        = flag.String("warehouse", "", "persist results in an indexed warehouse at this directory (enables /v1/query); mutually exclusive with -cache")
+		whMaxBytes   = flag.Int64("warehouse-max-bytes", 0, "evict least-recently-used warehouse records past this byte budget (0 = unbounded)")
+		migrateDir   = flag.String("migrate-from", "", "import a legacy flat -cache directory into the -warehouse at startup")
 		deadline     = flag.Duration("deadline", 2*time.Minute, "cap on any request's deadline")
 		maxInsts     = flag.Uint64("max-insts", 2_000_000, "cap on warmup+measure per point")
 		maxPoints    = flag.Int("max-points", 1024, "cap on points per /v1/sweep call")
@@ -49,9 +61,39 @@ func run() error {
 	)
 	flag.Parse()
 
-	eng, err := experiments.NewEngine(*cacheDir, *cacheVerify)
-	if err != nil {
-		return err
+	if *cacheDir != "" && *whDir != "" {
+		return fmt.Errorf("-cache and -warehouse are mutually exclusive backends; pick one (migrate with -warehouse DIR -migrate-from OLDCACHE)")
+	}
+	if (*migrateDir != "" || *whMaxBytes != 0) && *whDir == "" {
+		return fmt.Errorf("-migrate-from and -warehouse-max-bytes require -warehouse")
+	}
+	var (
+		eng *experiments.Engine
+		ws  *warehouse.Store
+		err error
+	)
+	if *whDir != "" {
+		eng, ws, err = experiments.NewWarehouseEngine(*whDir, warehouse.Options{MaxBytes: *whMaxBytes}, *cacheVerify)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := ws.Close(); cerr != nil {
+				log.Printf("uopsimd: warehouse close: %v", cerr)
+			}
+		}()
+		if *migrateDir != "" {
+			n, err := ws.ImportDir(*migrateDir)
+			if err != nil {
+				return err
+			}
+			log.Printf("uopsimd: imported %d legacy blobs from %s", n, *migrateDir)
+		}
+	} else {
+		eng, err = experiments.NewEngine(*cacheDir, *cacheVerify)
+		if err != nil {
+			return err
+		}
 	}
 	srv := server.New(server.Config{
 		Workers:        *workers,
@@ -60,12 +102,17 @@ func run() error {
 		MaxInsts:       *maxInsts,
 		MaxSweepPoints: *maxPoints,
 		Engine:         eng,
+		Warehouse:      ws,
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: srv}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("uopsimd: listening on %s (cache=%q)", *addr, *cacheDir)
+		if *whDir != "" {
+			log.Printf("uopsimd: listening on %s (warehouse=%q)", *addr, *whDir)
+		} else {
+			log.Printf("uopsimd: listening on %s (cache=%q)", *addr, *cacheDir)
+		}
 		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
@@ -95,5 +142,8 @@ func run() error {
 		log.Printf("uopsimd: drain budget exhausted, exiting with work in flight")
 	}
 	log.Printf("uopsimd: engine %s", eng.Stats())
+	if ws != nil {
+		log.Printf("uopsimd: warehouse %s", ws)
+	}
 	return nil
 }

@@ -19,6 +19,11 @@ type TypeRoot struct {
 // every design-point fingerprint hashes pipeline.Config and
 // workload.Profile — and, for sampled points, pipeline.Sampling — so an
 // unfingerprintable field on any of them silently poisons the run cache.
+// The same roots also feed runcache.AppendFeatures, which flattens
+// pipeline.Config into the warehouse's queryable feature vectors under the
+// same kind restrictions as canon.go — one analyzer walk guards both
+// encoders, so a field that would break Key() would break feature
+// flattening too, and vice versa.
 var DefaultFingerprintRoots = []TypeRoot{
 	{PkgPath: "uopsim/internal/pipeline", TypeName: "Config"},
 	{PkgPath: "uopsim/internal/pipeline", TypeName: "Sampling"},
@@ -30,8 +35,12 @@ var DefaultFingerprintRoots = []TypeRoot{
 // structs, pointers, slices, and arrays, exactly the kinds
 // internal/runcache/canon.go accepts — and flags any field whose kind the
 // canonicalizer rejects (map, func, chan, interface, complex,
-// unsafe.Pointer). canon.go catches these at run time with an error per
-// design point; this catches them at lint time, at the field declaration.
+// unsafe.Pointer). runcache.AppendFeatures (the warehouse feature-vector
+// flattener) deliberately accepts the same kind set, so this walk also
+// certifies that every root can be flattened into query predicates.
+// canon.go and AppendFeatures catch violations at run time with an error
+// per design point; this catches them at lint time, at the field
+// declaration.
 func RuncacheSafety(roots []TypeRoot) *Analyzer {
 	return &Analyzer{
 		Name: "runcachesafe",

@@ -31,11 +31,16 @@ var registerMethods = map[string]bool{
 }
 
 // pathMethods additionally take a metric path (or scope prefix) first
-// argument that must satisfy the grammar.
+// argument that must satisfy the grammar. Sample and GaugeValue entered
+// with the warehouse instrumentation (warehouse.RegisterStats gauges,
+// experiments query-by-snapshot-path): both take the same dotted paths as
+// Value and were silent gaps before.
 var pathMethods = map[string]bool{
 	"Scope":        true,
 	"CounterValue": true,
+	"GaugeValue":   true,
 	"Value":        true,
+	"Sample":       true,
 	"HistFraction": true,
 	"DistFraction": true,
 }

@@ -23,3 +23,22 @@ func Register(r *stats.Registry) {
 func Lookup(s stats.Snapshot) float64 {
 	return s.Value("oc.hit_rate") + s.Value("..broken") // want `metric path "\.\.broken" does not match`
 }
+
+// Warehouse mirrors how warehouse.RegisterStats mounts its gauges and how
+// /v1/stats consumers read them back: registrations on a "warehouse" scope
+// and the path-taking lookups (Sample, GaugeValue) the warehouse
+// instrumentation introduced.
+func Warehouse(r *stats.Registry, s stats.Snapshot) float64 {
+	wh := r.Scope("warehouse")
+	wh.RegisterGauge("live_bytes", func() float64 { return 0 })
+	wh.RegisterGauge("dead bytes", func() float64 { return 0 }) // want `metric path "dead bytes" does not match`
+	v := r.GaugeValue("warehouse.live_bytes")
+	v += r.GaugeValue("warehouse.Live_Bytes") // want `metric path "warehouse\.Live_Bytes" does not match`
+	if _, ok := s.Sample("warehouse.records"); ok {
+		v++
+	}
+	if _, ok := s.Sample("warehouse..records"); ok { // want `metric path "warehouse\.\.records" does not match`
+		v++
+	}
+	return v
+}

@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 
 	"uopsim/internal/pipeline"
 	"uopsim/internal/runcache"
 	"uopsim/internal/stats"
+	"uopsim/internal/warehouse"
 	"uopsim/internal/workload"
 )
 
@@ -43,6 +45,24 @@ func NewEngine(cacheDir string, verifyEvery int) (*Engine, error) {
 		e.SetVerifyEvery(verifyEvery)
 	}
 	return e, nil
+}
+
+// NewWarehouseEngine builds a design-point engine backed by an indexed
+// warehouse instead of a flat blob dir: results land in append-only segment
+// files keyed by fingerprint and carrying each point's feature vector, so
+// the same store that dedupes re-runs also answers feature queries
+// (/v1/query, figure rendering). The returned store is the caller's to
+// query, register for stats, and Close.
+func NewWarehouseEngine(dir string, opts warehouse.Options, verifyEvery int) (*Engine, *warehouse.Store, error) {
+	ws, err := warehouse.Open(dir, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	e := runcache.New[PointResult]()
+	e.SetValidate(validatePoint)
+	e.SetStore(ws)
+	e.SetVerifyEvery(verifyEvery)
+	return e, ws, nil
 }
 
 // validatePoint is the semantic half of corruption tolerance: a blob that
@@ -96,6 +116,40 @@ func smtFingerprint(p Params, profA, profB *workload.Profile, cfg pipeline.Confi
 		*profA, *profB, cfg, p.WarmupInsts/2, p.MeasureInsts/2)
 }
 
+// pointFeatures builds the feature vector stored alongside a design
+// point's blob: the workload identity, the run lengths, and the flattened
+// pipeline configuration under the "config." prefix. Features select SETS
+// of points (a query predicate surface); the fingerprint identifies a
+// SINGLE point — features never feed the fingerprint, so adding one can
+// never invalidate a cache. The flattening shares the fingerprint
+// canonicalizer's kind restrictions, so any Config field the fingerprint
+// can cover, a predicate can filter on.
+func pointFeatures(p Params, prof *workload.Profile, cfg pipeline.Config) (runcache.Features, error) {
+	f := runcache.Features{
+		{Key: "workload", Value: prof.Name},
+		{Key: "suite", Value: prof.Suite},
+		{Key: "warmupinsts", Value: strconv.FormatUint(p.WarmupInsts, 10)},
+		{Key: "measureinsts", Value: strconv.FormatUint(p.MeasureInsts, 10)},
+		{Key: "sampled", Value: strconv.FormatBool(p.Sampling.WithDefaults(p.MeasureInsts).Enabled)},
+	}
+	return runcache.AppendFeatures(f, "config", cfg)
+}
+
+// smtFeatures is the two-thread analogue: both workload names, the smt tag,
+// and the same flattened configuration.
+func smtFeatures(p Params, profA, profB *workload.Profile, cfg pipeline.Config) (runcache.Features, error) {
+	f := runcache.Features{
+		{Key: "smt", Value: "true"},
+		{Key: "workload", Value: profA.Name},
+		{Key: "workload.b", Value: profB.Name},
+		{Key: "suite", Value: profA.Suite},
+		{Key: "warmupinsts", Value: strconv.FormatUint(p.WarmupInsts/2, 10)},
+		{Key: "measureinsts", Value: strconv.FormatUint(p.MeasureInsts/2, 10)},
+		{Key: "sampled", Value: strconv.FormatBool(p.Sampling.WithDefaults(p.MeasureInsts / 2).Enabled)},
+	}
+	return runcache.AppendFeatures(f, "config", cfg)
+}
+
 // point resolves one design point: through the shared engine when Params
 // carries one (memo/disk dedupe), by direct simulation otherwise. The two
 // paths are bit-identical by construction — the engine only ever returns
@@ -112,9 +166,14 @@ func point(p Params, name string, cfg pipeline.Config) (PointResult, error) {
 	if err != nil {
 		return PointResult{}, err
 	}
-	return p.Engine.Do(fp, func() (PointResult, error) {
+	feat, err := pointFeatures(p, prof, cfg)
+	if err != nil {
+		return PointResult{}, err
+	}
+	res, _, err := p.Engine.DoFeatured(fp, feat, func() (PointResult, error) {
 		return simulatePoint(p, name, cfg)
 	})
+	return res, err
 }
 
 // simulatePoint runs one configuration against the shared immutable

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"uopsim/internal/runcache"
+	"uopsim/internal/warehouse"
+)
+
+// StoreQuery selects design points from a warehouse and names the metrics
+// to project out of each stored PointResult. It is the shared shape behind
+// uopsimd's /v1/query endpoint and uopload's query mode.
+type StoreQuery struct {
+	// Where filters on the stored feature vector: every listed key must be
+	// present with exactly the listed value. Keys are the feature-vector
+	// paths ("workload", "suite", "config.uopcache.capacityuops", ...).
+	Where map[string]string `json:"where,omitempty"`
+	// Metrics names the values projected into each row. Derived metric
+	// names (upc, ipc, cycles, ...) read the blob's Metrics struct; any
+	// other name is treated as a stats snapshot path (e.g. "oc.hits").
+	// Empty defaults to ["upc"].
+	Metrics []string `json:"metrics,omitempty"`
+	// IncludeFeatures copies each record's feature vector into its row
+	// (legacy-imported records have none, so default-off keeps migrated
+	// and native rows shaped alike).
+	IncludeFeatures bool `json:"include_features,omitempty"`
+	// Limit caps the row count (0 = unlimited).
+	Limit int `json:"limit,omitempty"`
+}
+
+// QueryRow is one selected design point. Rows are emitted in ascending
+// fingerprint order — the warehouse's one stable order — so identical
+// stores render byte-identical query output regardless of insertion or
+// migration order.
+type QueryRow struct {
+	Fingerprint runcache.Fingerprint `json:"fingerprint"`
+	Suite       string               `json:"suite,omitempty"`
+	Metrics     map[string]float64   `json:"metrics"`
+	Features    runcache.Features    `json:"features,omitempty"`
+}
+
+// derivedMetrics maps query metric names to Metrics-struct projections.
+// Names are the snake_case forms of the struct fields, matching the
+// vocabulary figures and tables already use.
+var derivedMetrics = map[string]func(r PointResult) float64{
+	"upc":              func(r PointResult) float64 { return r.Metrics.UPC },
+	"ipc":              func(r PointResult) float64 { return r.Metrics.IPC },
+	"cycles":           func(r PointResult) float64 { return float64(r.Metrics.Cycles) },
+	"insts":            func(r PointResult) float64 { return float64(r.Metrics.Insts) },
+	"dispatch_bw":      func(r PointResult) float64 { return r.Metrics.DispatchBW },
+	"oc_fetch_ratio":   func(r PointResult) float64 { return r.Metrics.OCFetchRatio },
+	"oc_hit_rate":      func(r PointResult) float64 { return r.Metrics.OCHitRate },
+	"oc_fills":         func(r PointResult) float64 { return float64(r.Metrics.OCFills) },
+	"uops_oc":          func(r PointResult) float64 { return float64(r.Metrics.UopsOC) },
+	"uops_ic":          func(r PointResult) float64 { return float64(r.Metrics.UopsIC) },
+	"uops_lc":          func(r PointResult) float64 { return float64(r.Metrics.UopsLC) },
+	"branch_mpki":      func(r PointResult) float64 { return r.Metrics.BranchMPKI },
+	"avg_misp_latency": func(r PointResult) float64 { return r.Metrics.AvgMispLatency },
+	"mispredicts":      func(r PointResult) float64 { return float64(r.Metrics.Mispredicts) },
+	"decoder_power":    func(r PointResult) float64 { return r.Metrics.DecoderPower },
+	"decoded_insts":    func(r PointResult) float64 { return float64(r.Metrics.DecodedInsts) },
+	"dec_redirects":    func(r PointResult) float64 { return float64(r.Metrics.DecRedirects) },
+	"resyncs":          func(r PointResult) float64 { return float64(r.Metrics.Resyncs) },
+}
+
+// MetricNames lists the derived metric vocabulary, sorted, for error
+// messages and docs.
+func MetricNames() []string {
+	names := make([]string, 0, len(derivedMetrics))
+	for name := range derivedMetrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// metricValue projects one named metric out of a decoded point: derived
+// names read the Metrics struct, anything else falls back to the stats
+// snapshot path space (counters return their exact count as a float).
+func metricValue(r PointResult, name string) (float64, bool) {
+	if fn, ok := derivedMetrics[name]; ok {
+		return fn(r), true
+	}
+	if _, ok := r.Snapshot.Sample(name); !ok {
+		return 0, false
+	}
+	return r.Snapshot.Value(name), true
+}
+
+// QueryStore runs q against ws and returns the matching rows in ascending
+// fingerprint order. Blobs that do not decode as PointResults are skipped
+// (the engine quarantines them on its own read path; a query is read-only
+// and must not mutate the store). An unknown metric name on a decodable
+// record is an error — a silent zero would poison downstream means.
+func QueryStore(ws *warehouse.Store, q StoreQuery) ([]QueryRow, error) {
+	metrics := q.Metrics
+	if len(metrics) == 0 {
+		metrics = []string{"upc"}
+	}
+	recs, err := ws.Select(warehouse.Query{Where: q.Where, Limit: q.Limit})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]QueryRow, 0, len(recs))
+	for _, rec := range recs {
+		var pt PointResult
+		if err := json.Unmarshal(rec.Blob, &pt); err != nil {
+			continue
+		}
+		row := QueryRow{
+			Fingerprint: rec.Fingerprint,
+			Suite:       pt.Suite,
+			Metrics:     make(map[string]float64, len(metrics)),
+		}
+		for _, name := range metrics {
+			v, ok := metricValue(pt, name)
+			if !ok {
+				return nil, fmt.Errorf("experiments: unknown metric %q (derived metrics: %v; other names are stats snapshot paths)", name, MetricNames())
+			}
+			row.Metrics[name] = v
+		}
+		if q.IncludeFeatures {
+			row.Features = rec.Features
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

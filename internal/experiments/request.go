@@ -197,7 +197,11 @@ func (r PointRequest) Resolve(eng *Engine) (PointResult, runcache.Resolution, er
 	if err != nil {
 		return PointResult{}, ResolvedCompute, err
 	}
-	return eng.DoResolved(fp, func() (PointResult, error) {
+	feat, err := pointFeatures(r.params(), prof, cfg)
+	if err != nil {
+		return PointResult{}, ResolvedCompute, err
+	}
+	return eng.DoFeatured(fp, feat, func() (PointResult, error) {
 		return simulatePoint(r.params(), r.Workload, cfg)
 	})
 }

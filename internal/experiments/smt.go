@@ -135,5 +135,10 @@ func smtPoint(p Params, sc Scheme, nameA, nameB string) (PointResult, error) {
 	if err != nil {
 		return PointResult{}, err
 	}
-	return p.Engine.Do(fp, compute)
+	feat, err := smtFeatures(p, profA, profB, cfg)
+	if err != nil {
+		return PointResult{}, err
+	}
+	res, _, err := p.Engine.DoFeatured(fp, feat, compute)
+	return res, err
 }

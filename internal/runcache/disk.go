@@ -30,6 +30,12 @@ func (d *Dir) BlobPath(fp Fingerprint) string {
 	return filepath.Join(d.path, string(fp)+".json")
 }
 
+// Path is the directory backing the store.
+func (d *Dir) Path() string { return d.path }
+
+// Location implements Store.
+func (d *Dir) Location(fp Fingerprint) string { return d.BlobPath(fp) }
+
 // Load reads the blob for fp. A missing or unreadable file is a plain
 // miss: the engine re-simulates, it never trusts a blob it cannot read.
 func (d *Dir) Load(fp Fingerprint) ([]byte, bool) {
@@ -66,5 +72,30 @@ func (d *Dir) Store(fp Fingerprint, blob []byte) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return nil
+	// Sync the directory too: the rename made the name visible, but only a
+	// flushed directory makes it durable — without it a crash can drop the
+	// rename and silently lose a blob the caller was told is persisted.
+	return SyncDir(d.path)
+}
+
+// Put implements Store. Dir has no feature index, so feat is dropped; the
+// blob alone lands on disk exactly as Store always wrote it.
+func (d *Dir) Put(fp Fingerprint, _ Features, blob []byte) error {
+	return d.Store(fp, blob)
+}
+
+// Quarantine implements Store: the corrupt blob is renamed to <fp>.bad so
+// the next Load of fp is a plain miss instead of a decode failure repaid on
+// every read. The .bad file is kept for post-mortem inspection; deleting
+// the cache directory reclaims it. A record that is already gone is not an
+// error — a concurrent writer may have replaced it.
+func (d *Dir) Quarantine(fp Fingerprint) error {
+	err := os.Rename(d.BlobPath(fp), filepath.Join(d.path, string(fp)+".bad"))
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	return SyncDir(d.path)
 }

@@ -58,7 +58,7 @@ func (s Stats) String() string {
 // a point the same way every time, so re-running it for each duplicate
 // submission would only repeat the cost.
 type Engine[T any] struct {
-	dir         *Dir
+	store       Store
 	validate    func(T) error
 	verifyEvery int
 
@@ -109,8 +109,13 @@ func New[T any]() *Engine[T] {
 	return &Engine[T]{entries: make(map[Fingerprint]*entry[T])}
 }
 
-// SetDir attaches an on-disk blob store. Configure before the first Do.
-func (e *Engine[T]) SetDir(d *Dir) { e.dir = d }
+// SetDir attaches the legacy flat-directory blob store. Configure before
+// the first Do. Equivalent to SetStore(d).
+func (e *Engine[T]) SetDir(d *Dir) { e.store = d }
+
+// SetStore attaches a persistence back end (a Dir or a warehouse.Store).
+// Configure before the first Do.
+func (e *Engine[T]) SetStore(s Store) { e.store = s }
 
 // SetValidate installs a semantic check applied to decoded disk blobs; a
 // blob that fails it counts as corrupt and is re-simulated, never trusted.
@@ -163,7 +168,7 @@ func (e *Engine[T]) StatsSnapshot() stats.Snapshot {
 // Do resolves the design point at fp, running compute at most once per
 // fingerprint per process. Safe for concurrent use.
 func (e *Engine[T]) Do(fp Fingerprint, compute func() (T, error)) (T, error) {
-	v, _, err := e.DoResolved(fp, compute)
+	v, _, err := e.DoFeatured(fp, nil, compute)
 	return v, err
 }
 
@@ -172,6 +177,15 @@ func (e *Engine[T]) Do(fp Fingerprint, compute func() (T, error)) (T, error) {
 // entry report ResolvedMemo regardless of how its first submitter
 // resolved it.
 func (e *Engine[T]) DoResolved(fp Fingerprint, compute func() (T, error)) (T, Resolution, error) {
+	return e.DoFeatured(fp, nil, compute)
+}
+
+// DoFeatured is DoResolved carrying the point's canonical feature vector,
+// which a feature-indexed store (the warehouse) persists alongside the
+// blob so stored results answer config-field queries. Features never enter
+// the fingerprint — submitting the same fp with and without them resolves
+// to one entry — and a featureless store drops them.
+func (e *Engine[T]) DoFeatured(fp Fingerprint, feat Features, compute func() (T, error)) (T, Resolution, error) {
 	e.mu.Lock()
 	e.st.Submitted++
 	if en, ok := e.entries[fp]; ok {
@@ -185,14 +199,14 @@ func (e *Engine[T]) DoResolved(fp Fingerprint, compute func() (T, error)) (T, Re
 	e.st.Unique++
 	e.mu.Unlock()
 
-	en.val, en.res, en.err = e.resolve(fp, compute)
+	en.val, en.res, en.err = e.resolve(fp, feat, compute)
 	close(en.done)
 	return en.val, en.res, en.err
 }
 
-func (e *Engine[T]) resolve(fp Fingerprint, compute func() (T, error)) (T, Resolution, error) {
-	if e.dir != nil {
-		if blob, ok := e.dir.Load(fp); ok {
+func (e *Engine[T]) resolve(fp Fingerprint, feat Features, compute func() (T, error)) (T, Resolution, error) {
+	if e.store != nil {
+		if blob, ok := e.store.Load(fp); ok {
 			var v T
 			if err := json.Unmarshal(blob, &v); err == nil && e.valid(v) {
 				if e.shouldVerify() {
@@ -202,13 +216,17 @@ func (e *Engine[T]) resolve(fp Fingerprint, compute func() (T, error)) (T, Resol
 				e.bump(&e.st.DiskHits)
 				return v, ResolvedDisk, nil
 			}
+			// The blob is undecodable or semantically invalid; pay the miss
+			// once. Quarantining it (rename to <fp>.bad, tombstone) keeps the
+			// next Load a clean miss instead of a decode failure forever.
 			e.bump(&e.st.BadBlobs)
+			_ = e.store.Quarantine(fp) // best effort: re-simulation below is the recovery either way
 		}
 	}
 	v, err := compute()
 	e.bump(&e.st.Simulated)
-	if err == nil && e.dir != nil {
-		if blob, merr := json.Marshal(v); merr == nil && e.dir.Store(fp, blob) == nil {
+	if err == nil && e.store != nil {
+		if blob, merr := json.Marshal(v); merr == nil && e.store.Put(fp, feat, blob) == nil {
 			e.bump(&e.st.DiskWrites)
 		}
 	}
@@ -230,7 +248,7 @@ func (e *Engine[T]) verifyAgainst(fp Fingerprint, cached []byte, compute func() 
 	if !bytes.Equal(fresh, cached) {
 		e.bump(&e.st.VerifyFailed)
 		return v, fmt.Errorf("cache-verify: cached blob %s does not match re-simulation (stale or corrupt cache entry; delete it or the cache directory)",
-			e.dir.BlobPath(fp))
+			e.store.Location(fp))
 	}
 	e.bump(&e.st.Verified)
 	return v, nil

@@ -1,0 +1,74 @@
+package runcache
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// AppendFeatures flattens v into feat as dotted lowercase key/value pairs:
+// struct fields recurse with their lowercased names appended to prefix,
+// scalars render as strings, and slices/arrays index as ".0", ".1", ….
+// The walk accepts exactly the kinds the fingerprint canonicalizer
+// (appendCanon) encodes and rejects the rest — maps, funcs, channels,
+// interfaces — with an error naming the offending field, so a config type
+// that fingerprints cleanly always feature-encodes cleanly and vice versa.
+// The uopvet runcachesafe analyzer statically enforces the same kind set
+// on the fingerprint roots, which therefore also guards this encoding.
+//
+// Feature values are exact for query purposes: integers in decimal, floats
+// via the shortest round-trip form, booleans as "true"/"false". Two configs
+// that fingerprint differently may still share a feature vector (features
+// omit the version strings and run lengths unless the caller adds them) —
+// features select sets of points, fingerprints identify single points.
+func AppendFeatures(feat Features, prefix string, v any) (Features, error) {
+	return appendFeatureValue(feat, prefix, reflect.ValueOf(v))
+}
+
+func appendFeatureValue(feat Features, key string, v reflect.Value) (Features, error) {
+	if !v.IsValid() {
+		return feat, nil
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		return append(feat, KV{Key: key, Value: strconv.FormatBool(v.Bool())}), nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return append(feat, KV{Key: key, Value: strconv.FormatInt(v.Int(), 10)}), nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return append(feat, KV{Key: key, Value: strconv.FormatUint(v.Uint(), 10)}), nil
+	case reflect.Float32, reflect.Float64:
+		return append(feat, KV{Key: key, Value: strconv.FormatFloat(v.Float(), 'g', -1, 64)}), nil
+	case reflect.String:
+		return append(feat, KV{Key: key, Value: v.String()}), nil
+	case reflect.Pointer:
+		if v.IsNil() {
+			return feat, nil
+		}
+		return appendFeatureValue(feat, key, v.Elem())
+	case reflect.Struct:
+		t := v.Type()
+		var err error
+		for i := 0; i < t.NumField(); i++ {
+			feat, err = appendFeatureValue(feat, key+"."+strings.ToLower(t.Field(i).Name), v.Field(i))
+			if err != nil {
+				return nil, err
+			}
+		}
+		return feat, nil
+	case reflect.Slice, reflect.Array:
+		if v.Kind() == reflect.Slice && v.IsNil() {
+			return feat, nil
+		}
+		var err error
+		for i := 0; i < v.Len(); i++ {
+			feat, err = appendFeatureValue(feat, key+"."+strconv.Itoa(i), v.Index(i))
+			if err != nil {
+				return nil, err
+			}
+		}
+		return feat, nil
+	default:
+		return nil, fmt.Errorf("runcache: cannot feature-encode %s (kind %s): the feature vector shares the fingerprint canonicalizer's kind restrictions", key, v.Kind())
+	}
+}

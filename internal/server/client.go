@@ -132,6 +132,36 @@ func (c *Client) Sweep(req SweepRequest, fn func(SweepLine) error) error {
 	return sc.Err()
 }
 
+// Query streams stored design points through /v1/query, invoking fn for
+// every NDJSON row (ascending fingerprint order). A daemon without a
+// warehouse answers 501, surfaced as a *StatusError.
+func (c *Client) Query(req QueryRequest, fn func(QueryRow) error) error {
+	resp, err := c.postJSON("/v1/query", req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20) // rows with features can be wide
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var row QueryRow
+		if err := json.Unmarshal(line, &row); err != nil {
+			return fmt.Errorf("server: decoding query row: %w", err)
+		}
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
 // Stats fetches /v1/stats.
 func (c *Client) Stats() (*StatsResponse, error) {
 	resp, err := c.httpClient().Get(c.BaseURL + "/v1/stats")

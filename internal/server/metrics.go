@@ -6,6 +6,7 @@ import (
 
 	"uopsim/internal/experiments"
 	"uopsim/internal/stats"
+	"uopsim/internal/warehouse"
 )
 
 // metrics owns the daemon's stats.Registry. Simulator registries are
@@ -31,7 +32,7 @@ type metrics struct {
 	latMean       stats.Mean    // same, as a running mean (Retry-After hints)
 }
 
-func newMetrics(eng *experiments.Engine, p *pool) *metrics {
+func newMetrics(eng *experiments.Engine, p *pool, ws *warehouse.Store) *metrics {
 	m := &metrics{
 		reg:     stats.NewRegistry(),
 		latency: stats.NewHistogram(1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000),
@@ -54,6 +55,9 @@ func newMetrics(eng *experiments.Engine, p *pool) *metrics {
 	sc.RegisterGauge("queue_depth", func() float64 { return float64(len(p.tasks)) })
 	sc.RegisterGauge("inflight", func() float64 { return float64(p.inflight.Load()) })
 	eng.RegisterStats(m.reg.Scope("runcache"))
+	if ws != nil {
+		ws.RegisterStats(m.reg.Scope("warehouse"))
+	}
 	return m
 }
 

@@ -24,6 +24,7 @@ import (
 
 	"uopsim/internal/experiments"
 	"uopsim/internal/runcache"
+	"uopsim/internal/warehouse"
 )
 
 // Config sizes the service. Zero values select the documented defaults.
@@ -43,8 +44,14 @@ type Config struct {
 	// (default 1024).
 	MaxSweepPoints int
 	// Engine resolves points. Nil builds an in-process-only engine;
-	// attach one backed by a runcache.Dir to persist results.
+	// attach one backed by a runcache.Dir or a warehouse to persist
+	// results.
 	Engine *experiments.Engine
+	// Warehouse, when set, serves /v1/query and adds warehouse gauges to
+	// /v1/stats and /metrics. Pass the store backing Engine (see
+	// experiments.NewWarehouseEngine) so queries see exactly what the
+	// engine persists. Without one, /v1/query answers 501.
+	Warehouse *warehouse.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +78,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	eng   *experiments.Engine
+	ws    *warehouse.Store
 	pool  *pool
 	met   *metrics
 	mux   *http.ServeMux
@@ -89,15 +97,16 @@ func New(cfg Config) *Server {
 	if eng == nil {
 		eng, _ = experiments.NewEngine("", 0) // "" cannot fail: no directory to open
 	}
-	s := &Server{cfg: cfg, eng: eng, start: time.Now()}
+	s := &Server{cfg: cfg, eng: eng, ws: cfg.Warehouse, start: time.Now()}
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth)
-	s.met = newMetrics(eng, s.pool)
+	s.met = newMetrics(eng, s.pool, s.ws)
 	s.resolve = func(req experiments.PointRequest) (experiments.PointResult, runcache.Resolution, error) {
 		return req.Resolve(eng)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -163,6 +172,14 @@ type SweepLine struct {
 	Result     *experiments.PointResult `json:"result,omitempty"`
 }
 
+// QueryRequest is /v1/query's body: feature predicates plus the metrics to
+// project. The response streams one NDJSON experiments.QueryRow per
+// matching point, in ascending fingerprint order.
+type QueryRequest = experiments.StoreQuery
+
+// QueryRow re-exports one /v1/query response line for clients.
+type QueryRow = experiments.QueryRow
+
 // PoolStats is the admission/pool half of /v1/stats.
 type PoolStats struct {
 	Workers          int    `json:"workers"`
@@ -188,10 +205,12 @@ type SimulationModes struct {
 // StatsResponse is /v1/stats: engine resolution counters (the dedupe
 // evidence) plus pool counters and the sampled/full completion split.
 type StatsResponse struct {
-	Engine        runcache.Stats  `json:"engine"`
-	Pool          PoolStats       `json:"pool"`
-	Simulations   SimulationModes `json:"simulations"`
-	UptimeSeconds float64         `json:"uptime_seconds"`
+	Engine      runcache.Stats  `json:"engine"`
+	Pool        PoolStats       `json:"pool"`
+	Simulations SimulationModes `json:"simulations"`
+	// Warehouse is present only when the daemon runs warehouse-backed.
+	Warehouse     *warehouse.Stats `json:"warehouse,omitempty"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
 }
 
 // errorBody is every non-2xx JSON payload.
@@ -441,6 +460,38 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleQuery serves stored results: no simulation, no pool admission —
+// reads bypass the worker queue entirely, so a saturated simulation
+// backlog never blocks rendering a figure from data already on disk.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST a QueryRequest to this endpoint")
+		return
+	}
+	if s.ws == nil {
+		s.writeError(w, http.StatusNotImplemented, "this daemon has no warehouse attached (start uopsimd with -warehouse)")
+		return
+	}
+	var q QueryRequest
+	if err := decodeJSON(w, r, simulateBodyLimit, &q); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rows, err := experiments.QueryStore(s.ws, q)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for _, row := range rows {
+		if err := enc.Encode(row); err != nil {
+			return // client went away
+		}
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeError(w, http.StatusMethodNotAllowed, "GET this endpoint")
@@ -467,12 +518,17 @@ func (s *Server) statsResponse() StatsResponse {
 	}
 	modes := SimulationModes{Sampled: m.simSampled.Value(), Full: m.simFull.Value()}
 	m.mu.Unlock()
-	return StatsResponse{
+	resp := StatsResponse{
 		Engine:        s.eng.Stats(),
 		Pool:          pool,
 		Simulations:   modes,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
+	if s.ws != nil {
+		st := s.ws.Stats()
+		resp.Warehouse = &st
+	}
+	return resp
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

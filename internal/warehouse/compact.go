@@ -1,0 +1,115 @@
+package warehouse
+
+import (
+	"fmt"
+	"os"
+
+	"uopsim/internal/runcache"
+)
+
+// Compact rewrites every live record into one fresh segment and deletes
+// the superseded files, reclaiming the bytes behind tombstones, evictions,
+// and overwritten records. The sequence is crash-safe at every step:
+//
+//  1. The current tail is sealed and a new tail (id k+2) is opened, so the
+//     compacted segment's id (k+1) sorts after every segment it replaces
+//     and before every append that follows — replay order stays correct no
+//     matter where a crash lands.
+//  2. Live records are copied, in sorted fingerprint order, into a temp
+//     file that is fsynced, renamed to seg-(k+1), and made durable with a
+//     directory sync (the same publish protocol as the blob dir's rename).
+//  3. Only then are the old segment files unlinked. A crash before the
+//     unlink leaves duplicates that replay harmlessly (the compacted copy
+//     re-applies the same records); a crash before the rename leaves a
+//     tmp- file that Open discards.
+//
+// The store's mutex is held throughout: writers block for the rewrite,
+// which is bounded by the live set (records are kilobytes). Automatic
+// triggering is governed by Options.CompactFraction.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("warehouse: store is closed")
+	}
+	// Seal the tail and park appends on a post-compaction segment.
+	t := s.tail()
+	if err := t.f.Sync(); err != nil {
+		return fmt.Errorf("warehouse: %w", err)
+	}
+	compactID := t.id + 1
+	newTail, err := s.newSegment(compactID + 1)
+	if err != nil {
+		return err
+	}
+	old := s.segs
+	s.segs = append(s.segs, newTail)
+
+	// Copy every live record into the temp file in fingerprint order, so
+	// repeated compactions of the same store are byte-identical.
+	tmp, err := os.CreateTemp(s.dir, "tmp-compact-*")
+	if err != nil {
+		return fmt.Errorf("warehouse: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	abort := func(err error) error {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write([]byte(segMagic)); err != nil {
+		return abort(fmt.Errorf("warehouse: %w", err))
+	}
+	off := int64(len(segMagic))
+	newIdx := make(map[runcache.Fingerprint]loc, len(s.idx))
+	for _, fp := range s.fingerprintsLocked() {
+		r, ok := s.readLocked(fp)
+		if !ok {
+			// Unreadable under compaction means unreadable, period: drop it
+			// from the index so the point is re-simulated, not carried
+			// forward corrupt.
+			s.st.CorruptFrames++
+			prev := s.idx[fp]
+			delete(s.idx, fp)
+			s.liveBytes -= prev.frameLen
+			continue
+		}
+		s.buf, err = appendFrame(s.buf[:0], r)
+		if err != nil {
+			return abort(err)
+		}
+		if _, err := tmp.Write(s.buf); err != nil {
+			return abort(fmt.Errorf("warehouse: %w", err))
+		}
+		newIdx[fp] = loc{seg: compactID, off: off, frameLen: int64(len(s.buf)), lastUse: s.idx[fp].lastUse}
+		off += int64(len(s.buf))
+	}
+	if err := tmp.Sync(); err != nil {
+		return abort(fmt.Errorf("warehouse: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("warehouse: %w", err)
+	}
+	path := s.segPath(compactID)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("warehouse: %w", err)
+	}
+	if err := runcache.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("warehouse: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("warehouse: %w", err)
+	}
+
+	// Publish: the compacted segment plus the fresh tail are the store now.
+	for _, seg := range old {
+		seg.f.Close()
+		os.Remove(seg.path)
+	}
+	s.segs = []*segment{{id: compactID, path: path, f: f, size: off}, newTail}
+	s.idx = newIdx
+	s.liveBytes = off - int64(len(segMagic))
+	s.deadBytes = 0
+	s.st.Compactions++
+	return nil
+}

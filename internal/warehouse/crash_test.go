@@ -1,0 +1,251 @@
+package warehouse
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"uopsim/internal/runcache"
+)
+
+// tailSegment returns the path and size of the highest-numbered segment file.
+func tailSegment(t *testing.T, dir string) (string, int64) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.whs"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no segments in %s: %v", dir, err)
+	}
+	name := names[len(names)-1]
+	fi, err := os.Stat(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return name, fi.Size()
+}
+
+// TestTornTailMidRecord simulates a crash that leaves a partially written
+// frame at the tail: the store must truncate back to the last intact frame,
+// keep every earlier record, and accept new appends.
+func TestTornTailMidRecord(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fpN(i), nil, []byte(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last frame: chop 3 bytes off the tail, landing mid-payload.
+	path, size := tailSegment(t, dir)
+	if err := os.Truncate(path, size-3); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	st := s2.Stats()
+	if st.TornTails != 1 {
+		t.Fatalf("TornTails = %d, want 1", st.TornTails)
+	}
+	if s2.Len() != 4 {
+		t.Fatalf("Len = %d after torn tail, want 4 (record 4 lost)", s2.Len())
+	}
+	for i := 0; i < 4; i++ {
+		got, ok := s2.Load(fpN(i))
+		if !ok || !bytes.Equal(got, []byte(fmt.Sprintf(`{"i":%d}`, i))) {
+			t.Fatalf("fp %d after recovery: %q, %v", i, got, ok)
+		}
+	}
+	if _, ok := s2.Load(fpN(4)); ok {
+		t.Fatal("torn record should be gone")
+	}
+	// The truncated tail must accept and persist new appends.
+	if err := s2.Put(fpN(4), nil, []byte(`{"i":4,"retry":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := mustOpen(t, dir, Options{})
+	if got, ok := s3.Load(fpN(4)); !ok || !bytes.Equal(got, []byte(`{"i":4,"retry":true}`)) {
+		t.Fatalf("re-append after recovery: %q, %v", got, ok)
+	}
+	if st := s3.Stats(); st.TornTails != 0 {
+		t.Fatalf("clean reopen reported TornTails = %d", st.TornTails)
+	}
+}
+
+// TestTornTailFrameBoundary tears the tail exactly at a frame boundary plus
+// a partial header — the trickier case, where only the 8-byte frame header
+// (or part of it) made it to disk before the crash.
+func TestTornTailFrameBoundary(t *testing.T) {
+	for _, extra := range []int64{0, 1, frameHeaderLen} {
+		extra := extra
+		t.Run(fmt.Sprintf("extra=%d", extra), func(t *testing.T) {
+			dir := t.TempDir()
+			s := mustOpen(t, dir, Options{})
+			var boundary int64
+			for i := 0; i < 3; i++ {
+				if err := s.Put(fpN(i), runcache.Features{{Key: "i", Value: fmt.Sprint(i)}}, []byte(`{}`)); err != nil {
+					t.Fatal(err)
+				}
+				if i == 1 {
+					_, boundary = tailSegment(t, dir)
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// Cut at the end of frame 1 (+0, +1 byte of garbage header, or a
+			// full header with no payload). All must recover to 2 records.
+			path, size := tailSegment(t, dir)
+			cut := boundary + extra
+			if cut >= size {
+				t.Fatalf("cut %d past file size %d", cut, size)
+			}
+			if err := os.Truncate(path, cut); err != nil {
+				t.Fatal(err)
+			}
+			s2 := mustOpen(t, dir, Options{})
+			if s2.Len() != 2 {
+				t.Fatalf("Len = %d, want 2", s2.Len())
+			}
+			// extra=0 is a clean tail, not a torn one.
+			wantTorn := uint64(1)
+			if extra == 0 {
+				wantTorn = 0
+			}
+			if st := s2.Stats(); st.TornTails != wantTorn {
+				t.Fatalf("TornTails = %d, want %d", st.TornTails, wantTorn)
+			}
+			if err := s2.Put(fpN(9), nil, []byte(`{"fresh":true}`)); err != nil {
+				t.Fatal(err)
+			}
+			s2.Close()
+			s3 := mustOpen(t, dir, Options{})
+			if s3.Len() != 3 {
+				t.Fatalf("after recovery append: Len = %d, want 3", s3.Len())
+			}
+		})
+	}
+}
+
+// TestCorruptSealedSegment flips a byte inside a sealed (non-tail) segment:
+// the damaged frame and everything after it in that segment are counted as
+// corruption and dropped, but other segments stay intact and the store
+// stays writable.
+func TestCorruptSealedSegment(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentBytes: 256})
+	for i := 0; i < 12; i++ {
+		if err := s.Put(fpN(i), nil, bytes.Repeat([]byte("z"), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stats().Segments < 3 {
+		t.Fatalf("test needs >=3 segments, got %d", s.Stats().Segments)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.whs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a payload byte in the middle of the first (sealed) segment.
+	victim := names[0]
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{SegmentBytes: 256})
+	st := s2.Stats()
+	if st.CorruptFrames == 0 {
+		t.Fatal("corrupt sealed frame not counted")
+	}
+	if st.TornTails != 0 {
+		t.Fatalf("sealed-segment damage misreported as torn tail (%d)", st.TornTails)
+	}
+	if s2.Len() >= 12 || s2.Len() == 0 {
+		t.Fatalf("Len = %d, want partial survival", s2.Len())
+	}
+	if err := s2.Put(fpN(99), nil, []byte(`{}`)); err != nil {
+		t.Fatal("store not writable after sealed-segment corruption:", err)
+	}
+}
+
+// TestConcurrentAppendCompactLoad exercises appends, loads, queries, and
+// explicit compactions from many goroutines; run under -race this is the
+// issue's required concurrency test.
+func TestConcurrentAppendCompactLoad(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentBytes: 4096, CompactFraction: 1})
+	const (
+		writers = 4
+		perW    = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				fp := fpN(w*1000 + i)
+				blob := []byte(fmt.Sprintf(`{"w":%d,"i":%d}`, w, i))
+				if err := s.Put(fp, runcache.Features{{Key: "w", Value: fmt.Sprint(w)}}, blob); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%3 == 0 { // overwrite some to generate dead bytes
+					if err := s.Put(fp, nil, blob); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				s.Load(fp)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := s.Compact(); err != nil {
+				t.Error("compact:", err)
+				return
+			}
+			s.Select(Query{Where: map[string]string{"w": "1"}})
+		}
+	}()
+	wg.Wait()
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != writers*perW {
+		t.Fatalf("Len = %d, want %d", s.Len(), writers*perW)
+	}
+	s.Close()
+	s2 := mustOpen(t, dir, Options{})
+	if s2.Len() != writers*perW {
+		t.Fatalf("reopen after concurrent run: Len = %d, want %d", s2.Len(), writers*perW)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perW; i++ {
+			if _, ok := s2.Load(fpN(w*1000 + i)); !ok {
+				t.Fatalf("fp (%d,%d) lost", w, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package warehouse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"uopsim/internal/runcache"
+)
+
+// Segment file layout: an 8-byte magic header followed by frames. Each
+// frame is [u32 payload length][u32 CRC-32 (IEEE) of payload][payload];
+// the length+checksum envelope is what makes the tail self-validating — a
+// torn write fails the length or the checksum and recovery truncates there.
+//
+// Payload encoding (little-endian):
+//
+//	u8  flags            (recLive or recTombstone)
+//	u16 fingerprint len  + bytes
+//	u16 feature count    then per feature: u16 key len + bytes, u32 value len + bytes
+//	u32 blob len         + bytes
+//
+// A tombstone carries no features and no blob; its fingerprint names the
+// record it deletes. Replay applies frames in write order, so the last
+// frame for a fingerprint wins and everything it superseded is dead weight
+// for the compactor.
+const (
+	segMagic = "uopwhs1\n"
+
+	recLive      = 0
+	recTombstone = 1
+
+	frameHeaderLen = 8
+	// maxPayload bounds one frame; anything larger on disk is corruption,
+	// not data (a PointResult blob is kilobytes).
+	maxPayload = 256 << 20
+)
+
+// rec is one decoded frame.
+type rec struct {
+	flags byte
+	fp    runcache.Fingerprint
+	feat  runcache.Features
+	blob  []byte
+}
+
+// appendFrame encodes r as a complete frame (header + payload) onto buf.
+func appendFrame(buf []byte, r rec) ([]byte, error) {
+	if len(r.fp) > 0xffff {
+		return nil, fmt.Errorf("warehouse: fingerprint of %d bytes is not storable", len(r.fp))
+	}
+	if len(r.feat) > 0xffff {
+		return nil, fmt.Errorf("warehouse: feature vector of %d entries is not storable", len(r.feat))
+	}
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header, patched below
+	buf = append(buf, r.flags)
+	buf = appendU16(buf, uint16(len(r.fp)))
+	buf = append(buf, r.fp...)
+	buf = appendU16(buf, uint16(len(r.feat)))
+	for _, kv := range r.feat {
+		if len(kv.Key) > 0xffff {
+			return nil, fmt.Errorf("warehouse: feature key of %d bytes is not storable", len(kv.Key))
+		}
+		buf = appendU16(buf, uint16(len(kv.Key)))
+		buf = append(buf, kv.Key...)
+		buf = appendU32(buf, uint32(len(kv.Value)))
+		buf = append(buf, kv.Value...)
+	}
+	buf = appendU32(buf, uint32(len(r.blob)))
+	buf = append(buf, r.blob...)
+	payload := buf[start+frameHeaderLen:]
+	if len(payload) > maxPayload {
+		return nil, fmt.Errorf("warehouse: record of %d bytes exceeds the %d-byte frame cap", len(payload), maxPayload)
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.ChecksumIEEE(payload))
+	return buf, nil
+}
+
+// decodePayload parses one checksum-validated payload. The returned rec's
+// byte slices alias buf.
+func decodePayload(buf []byte) (rec, error) {
+	var r rec
+	var ok bool
+	if len(buf) < 1 {
+		return r, fmt.Errorf("warehouse: empty payload")
+	}
+	r.flags, buf = buf[0], buf[1:]
+	if r.flags != recLive && r.flags != recTombstone {
+		return r, fmt.Errorf("warehouse: unknown record flags %#x", r.flags)
+	}
+	var fp []byte
+	if fp, buf, ok = takeN16(buf); !ok {
+		return r, fmt.Errorf("warehouse: truncated fingerprint")
+	}
+	r.fp = runcache.Fingerprint(fp)
+	var n uint16
+	if n, buf, ok = takeU16(buf); !ok {
+		return r, fmt.Errorf("warehouse: truncated feature count")
+	}
+	if n > 0 {
+		r.feat = make(runcache.Features, 0, n)
+	}
+	for i := 0; i < int(n); i++ {
+		var k, v []byte
+		if k, buf, ok = takeN16(buf); !ok {
+			return r, fmt.Errorf("warehouse: truncated feature key")
+		}
+		if v, buf, ok = takeN32(buf); !ok {
+			return r, fmt.Errorf("warehouse: truncated feature value")
+		}
+		r.feat = append(r.feat, runcache.KV{Key: string(k), Value: string(v)})
+	}
+	if r.blob, buf, ok = takeN32(buf); !ok {
+		return r, fmt.Errorf("warehouse: truncated blob")
+	}
+	if len(buf) != 0 {
+		return r, fmt.Errorf("warehouse: %d trailing bytes after blob", len(buf))
+	}
+	return r, nil
+}
+
+// crcOf is the frame checksum (CRC-32, IEEE polynomial).
+func crcOf(payload []byte) uint32 { return crc32.ChecksumIEEE(payload) }
+
+func appendU16(buf []byte, v uint16) []byte {
+	return append(buf, byte(v), byte(v>>8))
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func takeU16(buf []byte) (uint16, []byte, bool) {
+	if len(buf) < 2 {
+		return 0, nil, false
+	}
+	return binary.LittleEndian.Uint16(buf), buf[2:], true
+}
+
+func takeU32(buf []byte) (uint32, []byte, bool) {
+	if len(buf) < 4 {
+		return 0, nil, false
+	}
+	return binary.LittleEndian.Uint32(buf), buf[4:], true
+}
+
+func takeN16(buf []byte) ([]byte, []byte, bool) {
+	n, rest, ok := takeU16(buf)
+	if !ok || len(rest) < int(n) {
+		return nil, nil, false
+	}
+	return rest[:n], rest[n:], true
+}
+
+func takeN32(buf []byte) ([]byte, []byte, bool) {
+	n, rest, ok := takeU32(buf)
+	if !ok || uint32(len(rest)) < n {
+		return nil, nil, false
+	}
+	return rest[:n], rest[n:], true
+}

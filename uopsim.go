@@ -32,6 +32,7 @@ import (
 	"uopsim/internal/runcache"
 	"uopsim/internal/stats"
 	"uopsim/internal/uopcache"
+	"uopsim/internal/warehouse"
 	"uopsim/internal/workload"
 )
 
@@ -99,6 +100,31 @@ type DesignPoint = experiments.Point
 // fails it unless its blob matches the fresh result bit-for-bit.
 func NewRunEngine(cacheDir string, verifyEvery int) (*RunEngine, error) {
 	return experiments.NewEngine(cacheDir, verifyEvery)
+}
+
+// ResultsWarehouse is the indexed design-point store: an append-only
+// segment file log keyed by fingerprint, carrying each point's feature
+// vector so stored results can be selected by workload or config field
+// (Select, Iter) as well as loaded by identity. See DESIGN.md §11.
+type ResultsWarehouse = warehouse.Store
+
+// WarehouseOptions sizes a warehouse (segment rotation, byte budget,
+// compaction trigger). The zero value selects the documented defaults.
+type WarehouseOptions = warehouse.Options
+
+// WarehouseQuery selects warehouse records by feature predicates.
+type WarehouseQuery = warehouse.Query
+
+// WarehouseStats are the warehouse's gauges and activity counters.
+type WarehouseStats = warehouse.Stats
+
+// NewWarehouseRunEngine builds a design-point engine persisted in an
+// indexed warehouse instead of a flat blob directory. The returned store is
+// the caller's to query and Close; it is the same store the engine writes,
+// so a query sees every point the engine has resolved. Migrate a legacy
+// flat cache dir into it with ResultsWarehouse.ImportDir.
+func NewWarehouseRunEngine(dir string, opts WarehouseOptions, verifyEvery int) (*RunEngine, *ResultsWarehouse, error) {
+	return experiments.NewWarehouseEngine(dir, opts, verifyEvery)
 }
 
 // RunDesignPoints runs one simulation per point, in parallel, deduped

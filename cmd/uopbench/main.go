@@ -9,11 +9,16 @@
 //	uopbench -out BENCH_pipeline.json              # measure, write report
 //	uopbench -out new.json -before old.json        # embed previous numbers
 //	uopbench -golden testdata/golden_metrics.json  # dump golden metrics
+//	uopbench -surrogate BENCH_surrogate.json       # fast-tier latency report
 //
 // The -golden mode runs every scheme x workload point at a small fixed scale
 // and dumps the exact Metrics; the root TestGoldenMetrics compares the
 // current simulator against that file bit-for-bit, so perf work cannot
 // silently change reported numbers.
+//
+// The -surrogate mode (see surrogate.go) trains the /v1/estimate fast tier
+// on a 325-point corpus and reports predict latency percentiles and the
+// speedup over a real simulation, gating on p99 < 1ms and >= 100x.
 package main
 
 import (
@@ -88,6 +93,7 @@ func main() {
 		out       = flag.String("out", "BENCH_pipeline.json", "output report path (\"-\" for stdout)")
 		before    = flag.String("before", "", "previous report to embed under \"before\"")
 		golden    = flag.String("golden", "", "write a golden metrics dump to this path and exit")
+		surrogate = flag.String("surrogate", "", "write the surrogate fast-tier latency/speedup report to this path and exit (conventionally BENCH_surrogate.json)")
 		warmup    = flag.Uint64("warmup", 30_000, "warmup instructions per run")
 		insts     = flag.Uint64("insts", 100_000, "measured instructions per run")
 		iters     = flag.Int("iters", 3, "measured iterations per workload")
@@ -113,8 +119,19 @@ func main() {
 		}
 		return
 	}
+	if *surrogate != "" {
+		if *cacheDir != "" {
+			fmt.Fprintln(os.Stderr, "uopbench: -surrogate trains from a warehouse; use -warehouse, not -cache")
+			os.Exit(2)
+		}
+		if err := runSurrogateBench(*surrogate, *parallel, *whDir); err != nil {
+			fmt.Fprintln(os.Stderr, "uopbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *cacheDir != "" || *whDir != "" {
-		fmt.Fprintln(os.Stderr, "uopbench: -cache/-warehouse only apply to -golden (a cached benchmark would measure disk reads, not the simulator)")
+		fmt.Fprintln(os.Stderr, "uopbench: -cache/-warehouse only apply to -golden and -surrogate (a cached benchmark would measure disk reads, not the simulator)")
 		os.Exit(2)
 	}
 

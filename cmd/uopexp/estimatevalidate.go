@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"uopsim"
+)
+
+// The -estimate-validate harness quantifies the surrogate fast tier's
+// accuracy: it resolves the workloads × schemes × capacities grid (cheap
+// against a warm -warehouse), trains a model strictly on the training
+// split, and scores the held-out split — the same model uopsimd serves
+// from /v1/estimate. CI's estimate job fails the build when any gated
+// metric's confident-subset worst error exceeds -estimate-bound, when the
+// model covers nothing, or when a held-out point leaks into the exact
+// tier (which would make the numbers meaningless).
+
+// runEstimateValidate executes the harness and returns the process exit
+// code: 0 within bounds, 1 on a violation or failure.
+func runEstimateValidate(p uopsim.ExperimentParams, boundPct, minConf float64, outPath string) int {
+	opts := uopsim.EstimateValidateOptions{MinConfidence: minConf}
+	fmt.Printf("estimate validation: held-out surrogate accuracy, serving gate %.2f, bound %.1f%%\n",
+		effectiveConf(minConf), boundPct)
+	rep, err := uopsim.EstimateValidate(os.Stdout, p, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uopexp:", err)
+		return 1
+	}
+
+	if outPath != "" {
+		out := struct {
+			BoundPct float64 `json:"bound_pct"`
+			*uopsim.EstimateValidationReport
+		}{boundPct, rep}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uopexp:", err)
+			return 1
+		}
+		b = append(b, '\n')
+		if outPath == "-" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(outPath, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "uopexp:", err)
+			return 1
+		} else {
+			fmt.Printf("[report written to %s]\n", outPath)
+		}
+	}
+
+	ok := true
+	if rep.ExactHits > 0 {
+		fmt.Fprintf(os.Stderr, "uopexp: %d held-out points were exact hits — holdout leaked into training\n", rep.ExactHits)
+		ok = false
+	}
+	if rep.Predicted == 0 {
+		fmt.Fprintln(os.Stderr, "uopexp: the model predicted no held-out point at all")
+		ok = false
+	}
+	if rep.Confident == 0 {
+		fmt.Fprintln(os.Stderr, "uopexp: no held-out prediction cleared the serving gate — the fast tier would never serve on this grid")
+		ok = false
+	}
+	for _, me := range rep.Metrics {
+		if me.ConfidentWorstPct > boundPct {
+			fmt.Fprintf(os.Stderr, "uopexp: %s confident-subset worst error %.2f%% exceeds the %.1f%% bound\n",
+				me.Metric, me.ConfidentWorstPct, boundPct)
+			ok = false
+		}
+	}
+	if !ok {
+		return 1
+	}
+	fmt.Printf("all gated metrics within the %.1f%% bound over the confident subset\n", boundPct)
+	return 0
+}
+
+func effectiveConf(minConf float64) float64 {
+	if minConf > 0 {
+		return minConf
+	}
+	return uopsim.DefaultEstimateConfidence
+}

@@ -12,6 +12,7 @@
 //	uopexp -exp all -cache .uopcache -cache-verify 4
 //	uopexp -exp all -warehouse .uopwh           # indexed warehouse backend
 //	uopexp -exp all -warehouse .uopwh -migrate-from .uopcache
+//	uopexp -estimate-validate -warehouse .uopwh # surrogate held-out accuracy
 //
 // Every design point is routed through a shared engine that simulates each
 // unique (workload, config, run-length) fingerprint exactly once per
@@ -65,6 +66,10 @@ func run() int {
 		sampleVal  = flag.Bool("sample-validate", false, "run the sampling error-bound harness (full vs sampled on every workload) and write -sample-report")
 		sampleBnd  = flag.Float64("sample-bound", 6.0, "sample-validate: fail if any gated metric's worst relative error exceeds this percentage")
 		sampleRep  = flag.String("sample-report", "BENCH_sampling.json", "sample-validate: machine-readable report path (\"-\" for stdout)")
+		estVal     = flag.Bool("estimate-validate", false, "run the surrogate held-out accuracy harness (train on the grid, score the holdout) and write -estimate-report")
+		estBnd     = flag.Float64("estimate-bound", 6.0, "estimate-validate: fail if any gated metric's confident-subset worst relative error exceeds this percentage")
+		estRep     = flag.String("estimate-report", "BENCH_estimate.json", "estimate-validate: machine-readable report path (\"-\" for stdout)")
+		estConf    = flag.Float64("estimate-confidence", 0, "estimate-validate: serving gate splitting confident from fall-through predictions (0 = default 0.7)")
 	)
 	flag.Parse()
 
@@ -172,6 +177,15 @@ func run() int {
 			}
 			params.Engine = eng
 		}
+	}
+	// Unlike -sample-validate, this branch sits after engine setup on
+	// purpose: pointing it at the warehouse a cold sweep just filled makes
+	// grid resolution a pure disk replay instead of a re-simulation.
+	if *estVal {
+		if wh != nil {
+			defer func() { fmt.Fprintf(os.Stderr, "[warehouse: %s]\n", wh) }()
+		}
+		return runEstimateValidate(params, *estBnd, *estConf, *estRep)
 	}
 	var collected []runSnapshot
 	if *metricsOut != "" {

@@ -8,6 +8,13 @@
 //
 // Usage:
 //
+// With -mode estimate the mix goes to /v1/estimate (warehouse-backed
+// daemons only): confident surrogate predictions answer sub-millisecond,
+// the rest fall through to real simulation, and the report splits the two
+// tiers (estimate surrogate=… simulated=…) with per-tier latency
+// percentiles, then re-simulates a few surrogate-served points to report
+// fast-tier accuracy against ground truth.
+//
 // With -mode query it instead reads results the daemon already stores: the
 // request goes to /v1/query (warehouse-backed daemons only) with -where
 // feature predicates and -metrics selectors, and rows come back as NDJSON
@@ -17,6 +24,7 @@
 //
 //	uopload -url http://localhost:8077 -n 50 -unique 10 -c 8
 //	uopload -url http://localhost:8077 -mode sweep -n 50 -unique 10
+//	uopload -url http://localhost:8077 -mode estimate -n 200 -unique 10
 //	uopload -url http://localhost:8077 -mode query -where workload=bm_cc -metrics upc,oc_fetch_ratio
 package main
 
@@ -50,7 +58,9 @@ func run() error {
 		seed       = flag.Int64("seed", 1, "shuffle seed")
 		retries    = flag.Int("retries", 3, "429 retries per request (negative disables)")
 		retryDelay = flag.Duration("retry-delay", 0, "cap on per-retry sleep (0 = honor Retry-After)")
-		mode       = flag.String("mode", "simulate", "simulate (per-request /v1/simulate), sweep (one /v1/sweep batch), or query (read stored results from /v1/query)")
+		mode       = flag.String("mode", "simulate", "simulate (per-request /v1/simulate), sweep (one /v1/sweep batch), estimate (fast tier via /v1/estimate), or query (read stored results from /v1/query)")
+		minConf    = flag.Float64("min-confidence", 0, "estimate: per-request confidence floor (0 = server's gate)")
+		estChecks  = flag.Int("estimate-checks", 0, "estimate: surrogate answers to re-simulate for the accuracy report (0 = default 3, negative disables)")
 		where      = flag.String("where", "", "query: comma-separated key=value feature predicates (e.g. workload=bm_cc,config.uopcache.capacityuops=2048)")
 		metrics    = flag.String("metrics", "", "query: comma-separated metrics to project per row (empty = upc)")
 		qLimit     = flag.Int("query-limit", 0, "query: cap on returned rows (0 = unlimited)")
@@ -74,6 +84,9 @@ func run() error {
 		Retries:     *retries,
 		RetryDelay:  *retryDelay,
 		TimeoutMS:   timeout.Milliseconds(),
+
+		MinConfidence:  *minConf,
+		EstimateChecks: *estChecks,
 	}
 	if *workloads != "" {
 		cfg.Workloads = strings.Split(*workloads, ",")
@@ -104,8 +117,10 @@ func run() error {
 		report, err = server.RunLoad(client, cfg)
 	case "sweep":
 		report, err = server.RunSweep(client, cfg)
+	case "estimate":
+		report, err = server.RunEstimate(client, cfg)
 	default:
-		return fmt.Errorf("unknown -mode %q (simulate, sweep, or query)", *mode)
+		return fmt.Errorf("unknown -mode %q (simulate, sweep, estimate, or query)", *mode)
 	}
 	if err != nil {
 		return err
@@ -114,6 +129,10 @@ func run() error {
 
 	if stats, serr := client.Stats(); serr == nil {
 		fmt.Printf("engine %s\n", stats.Engine)
+		if stats.Estimate != nil {
+			fmt.Printf("server estimate requests=%d served=%d fallthrough=%d\n",
+				stats.Estimate.Requests, stats.Estimate.Served, stats.Estimate.Fallthrough)
+		}
 	} else {
 		fmt.Fprintf(os.Stderr, "uopload: stats fetch failed: %v\n", serr)
 	}

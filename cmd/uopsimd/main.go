@@ -10,13 +10,18 @@
 // instead of a flat blob dir and additionally serves /v1/query: NDJSON rows
 // of stored results filtered by feature predicates (workload, suite,
 // config.* fields) with selectable metrics — figures can be rendered from
-// data the daemon already holds, without simulating anything.
+// data the daemon already holds, without simulating anything. A
+// warehouse-backed daemon also trains a surrogate model on its stored
+// points and serves /v1/estimate: confident predictions answer in
+// microseconds, low-confidence ones fall through to a real simulation
+// (tune the gate with -estimate-confidence).
 //
 // Usage:
 //
 //	uopsimd -addr :8077 -workers 4 -cache /var/tmp/uopsim-cache
 //	uopsimd -addr :8077 -warehouse /var/tmp/uopsim-wh -migrate-from /var/tmp/uopsim-cache
 //	curl -s localhost:8077/v1/simulate -d '{"workload":"bm_cc","scheme":"clasp"}'
+//	curl -s localhost:8077/v1/estimate -d '{"workload":"bm_cc","scheme":"clasp","capacity":2048}'
 //	curl -s localhost:8077/v1/query -d '{"where":{"workload":"bm_cc"},"metrics":["upc","oc_fetch_ratio"]}'
 package main
 
@@ -27,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on the -pprof side listener only
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,6 +64,8 @@ func run() error {
 		maxInsts     = flag.Uint64("max-insts", 2_000_000, "cap on warmup+measure per point")
 		maxPoints    = flag.Int("max-points", 1024, "cap on points per /v1/sweep call")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "shutdown budget for in-flight simulations")
+		estConf      = flag.Float64("estimate-confidence", 0, "confidence gate for serving /v1/estimate from the surrogate fast tier (0 = default 0.7)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this side address, e.g. localhost:6060 (empty = off)")
 	)
 	flag.Parse()
 
@@ -96,14 +104,29 @@ func run() error {
 		}
 	}
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		MaxDeadline:    *deadline,
-		MaxInsts:       *maxInsts,
-		MaxSweepPoints: *maxPoints,
-		Engine:         eng,
-		Warehouse:      ws,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		MaxDeadline:        *deadline,
+		MaxInsts:           *maxInsts,
+		MaxSweepPoints:     *maxPoints,
+		Engine:             eng,
+		Warehouse:          ws,
+		EstimateConfidence: *estConf,
 	})
+	if sur := srv.Surrogate(); sur != nil {
+		log.Printf("uopsimd: surrogate fast tier trained on %d stored points", sur.Len())
+	}
+
+	if *pprofAddr != "" {
+		// The pprof handlers live on the default mux, which the API
+		// listener never serves — profiling stays off the public port.
+		go func() {
+			log.Printf("uopsimd: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("uopsimd: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv}
 	errc := make(chan error, 1)

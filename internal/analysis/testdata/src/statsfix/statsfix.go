@@ -42,3 +42,23 @@ func Warehouse(r *stats.Registry, s stats.Snapshot) float64 {
 	}
 	return v
 }
+
+// Estimate mirrors the /v1/estimate fast tier's instrumentation: the
+// nested server.estimate counters and histogram from server/metrics.go and
+// the surrogate gauges from surrogate.RegisterStats, plus the snapshot
+// reads a dashboard would issue against them.
+func Estimate(r *stats.Registry, s stats.Snapshot) float64 {
+	var served stats.Counter
+	est := r.Scope("server").Scope("estimate")
+	est.RegisterCounter("served", &served)
+	est.RegisterCounter("fallthrough", &served)
+	est.RegisterCounter("fall through", &served) // want `metric path "fall through" does not match`
+	sur := r.Scope("surrogate")
+	sur.RegisterGauge("live_points", func() float64 { return 0 })
+	sur.RegisterGauge("exact_hits", func() float64 { return 0 })
+	sur.RegisterGauge("exact_hits", func() float64 { return 0 }) // want `metric path "exact_hits" is registered twice on sur`
+	v := r.GaugeValue("surrogate.live_points")
+	v += s.Value("server.estimate.latency_us")
+	v += s.Value("server.estimate.latency-us") // want `metric path "server\.estimate\.latency-us" does not match`
+	return v
+}

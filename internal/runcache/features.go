@@ -26,6 +26,48 @@ func AppendFeatures(feat Features, prefix string, v any) (Features, error) {
 	return appendFeatureValue(feat, prefix, reflect.ValueOf(v))
 }
 
+// NumericValue interprets one feature value as a number for regression
+// purposes: booleans map to 0/1 (the same encoding a one-hot column would
+// use), anything strconv.ParseFloat accepts parses exactly, and everything
+// else — workload names, suite labels — is categorical (ok=false). The
+// split is intrinsic to the value, not declared per key, so every numeric
+// Config field the feature flattening emits is automatically a regression
+// dimension.
+func NumericValue(s string) (float64, bool) {
+	switch s {
+	case "true":
+		return 1, true
+	case "false":
+		return 0, true
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Numeric interprets the pair's value via NumericValue.
+func (kv KV) Numeric() (float64, bool) { return NumericValue(kv.Value) }
+
+// Canonical renders the feature vector as one comparable string: key=value
+// pairs joined by the 0x1f unit separator (a byte no feature key or value
+// produced by AppendFeatures contains). Two points with equal vectors —
+// same keys, same values, same flattening order — canonicalize identically,
+// which is the exact-match identity the surrogate's fast path keys on.
+func (f Features) Canonical() string {
+	var b strings.Builder
+	for i, kv := range f {
+		if i > 0 {
+			b.WriteByte(0x1f)
+		}
+		b.WriteString(kv.Key)
+		b.WriteByte('=')
+		b.WriteString(kv.Value)
+	}
+	return b.String()
+}
+
 func appendFeatureValue(feat Features, key string, v reflect.Value) (Features, error) {
 	if !v.IsValid() {
 		return feat, nil

@@ -44,6 +44,13 @@ type LoadConfig struct {
 	// point in the mix, exercising the daemon's sampled path (distinct
 	// fingerprints, mode-labeled counters).
 	Sampling *experiments.SamplingRequest
+	// MinConfidence, for estimate runs, overrides the server's confidence
+	// gate per request (0 uses the server's setting).
+	MinConfidence float64
+	// EstimateChecks bounds how many surrogate-served points an estimate
+	// run re-simulates afterward to measure fast-tier accuracy (default 3;
+	// negative disables the check).
+	EstimateChecks int
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -67,6 +74,9 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	}
 	if c.Retries == 0 {
 		c.Retries = 3
+	}
+	if c.EstimateChecks == 0 {
+		c.EstimateChecks = 3
 	}
 	return c
 }
@@ -111,6 +121,24 @@ type LoadReport struct {
 	P50, P90 time.Duration
 	P99, Max time.Duration
 	Elapsed  time.Duration
+	// ModeLatency is the per-mode latency profile: simulate runs key it by
+	// simulation mode (sampled / full), estimate runs by serving tier
+	// (surrogate / simulated) — the split that shows the fast path is fast.
+	ModeLatency map[string]LatencyQuantiles
+	// Sources counts estimate answers by serving tier; nil outside
+	// estimate runs.
+	Sources map[string]int
+	// EstimateChecked and the error fields report the estimate run's
+	// accuracy spot-check: surrogate answers re-simulated for ground truth.
+	EstimateChecked     int
+	EstimateUPCMAEPct   float64
+	EstimateUPCWorstPct float64
+}
+
+// LatencyQuantiles is one mode's latency profile within a load run.
+type LatencyQuantiles struct {
+	N             int
+	P50, P95, P99 time.Duration
 }
 
 // Deduped is the number of OK responses served without a fresh
@@ -121,17 +149,38 @@ func (r LoadReport) Deduped() int {
 
 // String renders the stable one-line summary CI greps
 // (requests=… ok=… failed=… status429=… retries=… deduped=…), the equally
-// stable mode breakdown (modes sampled=… full=…), then the latency
-// percentiles and the per-resolution breakdown.
+// stable mode breakdown (modes sampled=… full=…), the estimate tier split
+// when present (estimate surrogate=… simulated=…), then the latency
+// percentiles — aggregate and per mode — and the per-resolution breakdown.
 func (r LoadReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "requests=%d ok=%d failed=%d status429=%d retries=%d deduped=%d\n",
 		r.Requests, r.OK, r.Failed, r.Status429, r.Retries, r.Deduped())
 	fmt.Fprintf(&b, "modes sampled=%d full=%d\n", r.Modes["sampled"], r.Modes["full"])
+	if r.Sources != nil {
+		fmt.Fprintf(&b, "estimate surrogate=%d simulated=%d\n",
+			r.Sources["surrogate"], r.Sources["simulated"])
+	}
 	fmt.Fprintf(&b, "latency p50=%s p90=%s p99=%s max=%s elapsed=%s\n",
 		r.P50.Round(time.Millisecond), r.P90.Round(time.Millisecond),
 		r.P99.Round(time.Millisecond), r.Max.Round(time.Millisecond),
 		r.Elapsed.Round(time.Millisecond))
+	modeKeys := make([]string, 0, len(r.ModeLatency))
+	for k := range r.ModeLatency {
+		modeKeys = append(modeKeys, k)
+	}
+	sort.Strings(modeKeys)
+	for _, k := range modeKeys {
+		q := r.ModeLatency[k]
+		// Microsecond rounding: the estimate fast path is sub-millisecond.
+		fmt.Fprintf(&b, "latency mode=%s n=%d p50=%s p95=%s p99=%s\n",
+			k, q.N, q.P50.Round(time.Microsecond), q.P95.Round(time.Microsecond),
+			q.P99.Round(time.Microsecond))
+	}
+	if r.EstimateChecked > 0 {
+		fmt.Fprintf(&b, "estimate_accuracy checked=%d upc_mae=%.2f%% upc_worst=%.2f%%\n",
+			r.EstimateChecked, r.EstimateUPCMAEPct, r.EstimateUPCWorstPct)
+	}
 	keys := make([]string, 0, len(r.Resolutions))
 	for k := range r.Resolutions {
 		keys = append(keys, k)
@@ -149,6 +198,26 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	}
 	i := int(p * float64(len(sorted)-1))
 	return sorted[i]
+}
+
+// quantilesOf sorts lats in place and summarizes the p50/p95/p99 profile.
+func quantilesOf(lats []time.Duration) LatencyQuantiles {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return LatencyQuantiles{
+		N:   len(lats),
+		P50: percentile(lats, 0.50),
+		P95: percentile(lats, 0.95),
+		P99: percentile(lats, 0.99),
+	}
+}
+
+// modeQuantiles folds per-mode latency samples into the report shape.
+func modeQuantiles(byMode map[string][]time.Duration) map[string]LatencyQuantiles {
+	out := make(map[string]LatencyQuantiles, len(byMode))
+	for k, lats := range byMode {
+		out[k] = quantilesOf(lats)
+	}
+	return out
 }
 
 // RunLoad replays cfg against the daemon at base via /v1/simulate: the
@@ -180,6 +249,7 @@ func RunLoad(client *Client, cfg LoadConfig) (LoadReport, error) {
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
+		modeLats  = map[string][]time.Duration{}
 		report    = LoadReport{Requests: cfg.Requests, Resolutions: map[string]int{}, Modes: map[string]int{}}
 	)
 	jobs := make(chan experiments.PointRequest)
@@ -206,6 +276,7 @@ func RunLoad(client *Client, cfg LoadConfig) (LoadReport, error) {
 					report.Resolutions[resp.Resolution]++
 					report.Modes[resp.Mode]++
 					latencies = append(latencies, lat)
+					modeLats[resp.Mode] = append(modeLats[resp.Mode], lat)
 				}
 				mu.Unlock()
 			}
@@ -225,6 +296,7 @@ func RunLoad(client *Client, cfg LoadConfig) (LoadReport, error) {
 	if n := len(latencies); n > 0 {
 		report.Max = latencies[n-1]
 	}
+	report.ModeLatency = modeQuantiles(modeLats)
 	return report, nil
 }
 
@@ -233,6 +305,169 @@ func RunLoad(client *Client, cfg LoadConfig) (LoadReport, error) {
 func simulateWithRetry(client *Client, pt experiments.PointRequest, cfg LoadConfig) (resp *SimulateResponse, retries, n429 int, err error) {
 	for attempt := 0; ; attempt++ {
 		resp, err = client.Simulate(SimulateRequest{PointRequest: pt, TimeoutMS: cfg.TimeoutMS})
+		if err == nil {
+			return resp, retries, n429, nil
+		}
+		se, ok := err.(*StatusError)
+		if !ok || se.Code != 429 {
+			return nil, retries, n429, err
+		}
+		n429++
+		if cfg.Retries < 0 || attempt >= cfg.Retries {
+			return nil, retries, n429, err
+		}
+		retries++
+		delay := se.RetryAfter
+		if delay <= 0 {
+			delay = 100 * time.Millisecond
+		}
+		if cfg.RetryDelay > 0 && delay > cfg.RetryDelay {
+			delay = cfg.RetryDelay
+		}
+		time.Sleep(delay)
+	}
+}
+
+// RunEstimate replays the mix against /v1/estimate: the same
+// Requests-over-Unique draw, each answered by whichever tier the
+// confidence gate picks. Repeat draws are the fast tier's best case — the
+// first request on a cold point falls through to simulation, the result
+// lands in the warehouse and trains the model, and every later identical
+// draw is a sub-millisecond exact hit. Afterward up to EstimateChecks
+// surrogate-served points are re-simulated to spot-check the fast tier's
+// accuracy against ground truth.
+func RunEstimate(client *Client, cfg LoadConfig) (LoadReport, error) {
+	cfg = cfg.withDefaults()
+	pool := cfg.points()
+	if len(pool) == 0 {
+		return LoadReport{}, fmt.Errorf("server: load config yields no design points")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	reqs := make([]experiments.PointRequest, cfg.Requests)
+	for i := range reqs {
+		reqs[i] = pool[i%len(pool)]
+	}
+	rng.Shuffle(len(reqs), func(i, j int) { reqs[i], reqs[j] = reqs[j], reqs[i] })
+
+	type surrogateHit struct {
+		pt  experiments.PointRequest
+		upc float64
+	}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		modeLats  = map[string][]time.Duration{}
+		hits      = map[string]surrogateHit{}
+		report    = LoadReport{
+			Requests:    cfg.Requests,
+			Resolutions: map[string]int{},
+			Modes:       map[string]int{},
+			Sources:     map[string]int{},
+		}
+	)
+	jobs := make(chan experiments.PointRequest)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pt := range jobs {
+				t0 := time.Now()
+				resp, retries, n429, err := estimateWithRetry(client, pt, cfg)
+				lat := time.Since(t0)
+				mu.Lock()
+				report.Retries += retries
+				report.Status429 += n429
+				if err != nil {
+					report.Failed++
+				} else {
+					report.OK++
+					report.Sources[resp.Source]++
+					if resp.Source == "simulated" {
+						report.Resolutions[resp.Resolution]++
+						report.Modes[resp.Mode]++
+					} else {
+						key := fmt.Sprintf("%s/%s/%d", pt.Workload, pt.Scheme, pt.Capacity)
+						if _, dup := hits[key]; !dup {
+							hits[key] = surrogateHit{pt: pt, upc: resp.Metrics["upc"]}
+						}
+					}
+					latencies = append(latencies, lat)
+					modeLats[resp.Source] = append(modeLats[resp.Source], lat)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, pt := range reqs {
+		jobs <- pt
+	}
+	close(jobs)
+	wg.Wait()
+	report.Elapsed = time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	report.P50 = percentile(latencies, 0.50)
+	report.P90 = percentile(latencies, 0.90)
+	report.P99 = percentile(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		report.Max = latencies[n-1]
+	}
+	report.ModeLatency = modeQuantiles(modeLats)
+
+	// Accuracy spot-check: ask /v1/simulate for ground truth on a few of
+	// the points the surrogate answered. Cheap — these points are in the
+	// warehouse by construction, so the re-simulation is a disk/memo hit.
+	if cfg.EstimateChecks > 0 && len(hits) > 0 {
+		keys := make([]string, 0, len(hits))
+		for k := range hits {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if len(keys) > cfg.EstimateChecks {
+			keys = keys[:cfg.EstimateChecks]
+		}
+		for _, k := range keys {
+			h := hits[k]
+			sim, err := client.Simulate(SimulateRequest{PointRequest: h.pt, TimeoutMS: cfg.TimeoutMS})
+			if err != nil {
+				continue
+			}
+			truth := sim.Result.Metrics.UPC
+			if truth == 0 {
+				continue
+			}
+			e := 100 * absFloat(h.upc-truth) / absFloat(truth)
+			report.EstimateChecked++
+			report.EstimateUPCMAEPct += e
+			if e > report.EstimateUPCWorstPct {
+				report.EstimateUPCWorstPct = e
+			}
+		}
+		if report.EstimateChecked > 0 {
+			report.EstimateUPCMAEPct /= float64(report.EstimateChecked)
+		}
+	}
+	return report, nil
+}
+
+func absFloat(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// estimateWithRetry issues one estimate, retrying 429s (which only a
+// fall-through can produce) per the config.
+func estimateWithRetry(client *Client, pt experiments.PointRequest, cfg LoadConfig) (resp *EstimateResponse, retries, n429 int, err error) {
+	for attempt := 0; ; attempt++ {
+		resp, err = client.Estimate(EstimateRequest{
+			PointRequest:  pt,
+			MinConfidence: cfg.MinConfidence,
+			TimeoutMS:     cfg.TimeoutMS,
+		})
 		if err == nil {
 			return resp, retries, n429, nil
 		}

@@ -6,6 +6,7 @@ import (
 
 	"uopsim/internal/experiments"
 	"uopsim/internal/stats"
+	"uopsim/internal/surrogate"
 	"uopsim/internal/warehouse"
 )
 
@@ -30,12 +31,20 @@ type metrics struct {
 	simFull       stats.Counter // completed resolutions of full-simulation points
 	latency       *stats.Hist   // resolution latency, milliseconds
 	latMean       stats.Mean    // same, as a running mean (Retry-After hints)
+
+	estRequests    stats.Counter // /v1/estimate requests admitted past validation
+	estServed      stats.Counter // answered from the surrogate fast tier
+	estFallthrough stats.Counter // fell through to real simulation
+	estLatency     *stats.Hist   // estimate latency, microseconds (the fast path is sub-ms)
 }
 
-func newMetrics(eng *experiments.Engine, p *pool, ws *warehouse.Store) *metrics {
+func newMetrics(eng *experiments.Engine, p *pool, ws *warehouse.Store, sur *surrogate.Model) *metrics {
 	m := &metrics{
 		reg:     stats.NewRegistry(),
 		latency: stats.NewHistogram(1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000),
+		// Microsecond buckets: the fast tier targets p99 < 1ms (1000µs);
+		// the top buckets catch fall-through simulations.
+		estLatency: stats.NewHistogram(10, 25, 50, 100, 250, 500, 1000, 2500, 10000, 100000, 1000000, 10000000),
 	}
 	sc := m.reg.Scope("server")
 	sc.RegisterCounter("admitted", &m.admitted)
@@ -54,9 +63,17 @@ func newMetrics(eng *experiments.Engine, p *pool, ws *warehouse.Store) *metrics 
 	sc.RegisterGauge("queue_capacity", func() float64 { return float64(cap(p.tasks)) })
 	sc.RegisterGauge("queue_depth", func() float64 { return float64(len(p.tasks)) })
 	sc.RegisterGauge("inflight", func() float64 { return float64(p.inflight.Load()) })
+	est := sc.Scope("estimate")
+	est.RegisterCounter("requests", &m.estRequests)
+	est.RegisterCounter("served", &m.estServed)
+	est.RegisterCounter("fallthrough", &m.estFallthrough)
+	est.RegisterHist("latency_us", m.estLatency)
 	eng.RegisterStats(m.reg.Scope("runcache"))
 	if ws != nil {
 		ws.RegisterStats(m.reg.Scope("warehouse"))
+	}
+	if sur != nil {
+		sur.RegisterStats(m.reg.Scope("surrogate"))
 	}
 	return m
 }
@@ -86,6 +103,22 @@ func (m *metrics) observe(d time.Duration, mode string, err error) {
 	}
 	m.latency.Observe(int(ms))
 	m.latMean.Observe(float64(ms))
+	m.mu.Unlock()
+}
+
+// observeEstimate records one answered /v1/estimate: which tier served it
+// and the end-to-end latency in microseconds (only answered requests — a
+// fall-through that 429s or times out counts in the pool's counters, not
+// here).
+func (m *metrics) observeEstimate(d time.Duration, served bool) {
+	us := d.Microseconds()
+	m.mu.Lock()
+	if served {
+		m.estServed.Inc()
+	} else {
+		m.estFallthrough.Inc()
+	}
+	m.estLatency.Observe(int(us))
 	m.mu.Unlock()
 }
 

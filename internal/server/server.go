@@ -24,6 +24,7 @@ import (
 
 	"uopsim/internal/experiments"
 	"uopsim/internal/runcache"
+	"uopsim/internal/surrogate"
 	"uopsim/internal/warehouse"
 )
 
@@ -52,6 +53,10 @@ type Config struct {
 	// experiments.NewWarehouseEngine) so queries see exactly what the
 	// engine persists. Without one, /v1/query answers 501.
 	Warehouse *warehouse.Store
+	// EstimateConfidence gates /v1/estimate: surrogate predictions at or
+	// above it are served from the fast tier, below it fall through to
+	// real simulation (default experiments.DefaultEstimateConfidence).
+	EstimateConfidence float64
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +75,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSweepPoints <= 0 {
 		c.MaxSweepPoints = 1024
 	}
+	if c.EstimateConfidence <= 0 {
+		c.EstimateConfidence = experiments.DefaultEstimateConfidence
+	}
 	return c
 }
 
@@ -79,6 +87,7 @@ type Server struct {
 	cfg   Config
 	eng   *experiments.Engine
 	ws    *warehouse.Store
+	sur   *surrogate.Model
 	pool  *pool
 	met   *metrics
 	mux   *http.ServeMux
@@ -99,13 +108,24 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{cfg: cfg, eng: eng, ws: cfg.Warehouse, start: time.Now()}
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth)
-	s.met = newMetrics(eng, s.pool, s.ws)
+	if s.ws != nil {
+		// Train the fast tier on whatever the store already holds, then
+		// hook the live set so every completed simulation grows it. An
+		// unreadable store leaves the surrogate off (/v1/estimate answers
+		// 501) rather than failing daemon startup.
+		if m, _, err := experiments.NewStoreSurrogate(s.ws, surrogate.Options{}); err == nil {
+			experiments.AttachSurrogate(s.ws, m)
+			s.sur = m
+		}
+	}
+	s.met = newMetrics(eng, s.pool, s.ws, s.sur)
 	s.resolve = func(req experiments.PointRequest) (experiments.PointResult, runcache.Resolution, error) {
 		return req.Resolve(eng)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -118,6 +138,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // Engine exposes the resolving engine (its Stats are the dedupe evidence).
 func (s *Server) Engine() *experiments.Engine { return s.eng }
+
+// Surrogate exposes the fast tier's model, nil when the daemon runs
+// without a warehouse (nothing to train on, nothing to keep in sync).
+func (s *Server) Surrogate() *surrogate.Model { return s.sur }
 
 // Drain stops admitting simulations and blocks until in-flight and queued
 // work completes. Call after http.Server.Shutdown has stopped new
@@ -209,7 +233,12 @@ type StatsResponse struct {
 	Pool        PoolStats       `json:"pool"`
 	Simulations SimulationModes `json:"simulations"`
 	// Warehouse is present only when the daemon runs warehouse-backed.
-	Warehouse     *warehouse.Stats `json:"warehouse,omitempty"`
+	Warehouse *warehouse.Stats `json:"warehouse,omitempty"`
+	// Estimate and Surrogate are present only when the fast tier is on
+	// (warehouse-backed daemons): the /v1/estimate mode split and the
+	// model's own counters (retrains, corpus size, exact hits, ...).
+	Estimate      *EstimateStats   `json:"estimate,omitempty"`
+	Surrogate     *surrogate.Stats `json:"surrogate,omitempty"`
 	UptimeSeconds float64          `json:"uptime_seconds"`
 }
 
@@ -517,6 +546,11 @@ func (s *Server) statsResponse() StatsResponse {
 		Timeouts:         m.timeouts.Value(),
 	}
 	modes := SimulationModes{Sampled: m.simSampled.Value(), Full: m.simFull.Value()}
+	est := EstimateStats{
+		Requests:    m.estRequests.Value(),
+		Served:      m.estServed.Value(),
+		Fallthrough: m.estFallthrough.Value(),
+	}
 	m.mu.Unlock()
 	resp := StatsResponse{
 		Engine:        s.eng.Stats(),
@@ -527,6 +561,11 @@ func (s *Server) statsResponse() StatsResponse {
 	if s.ws != nil {
 		st := s.ws.Stats()
 		resp.Warehouse = &st
+	}
+	if s.sur != nil {
+		resp.Estimate = &est
+		ss := s.sur.Stats()
+		resp.Surrogate = &ss
 	}
 	return resp
 }

@@ -1,0 +1,135 @@
+package surrogate
+
+import (
+	"math"
+	"sort"
+
+	"uopsim/internal/runcache"
+)
+
+// mpoint is one fitted training point: its normalized coordinates, the
+// metric vector it carries, and the identities the model needs to evict it
+// later (fingerprint) and to serve it exactly (canonical feature string).
+// dead marks a point tombstoned since the last fit — the k-d tree still
+// references it (rebuilding on every removal would make eviction O(n log n)
+// per record), but searches skip it; the next retrain drops it for real.
+type mpoint struct {
+	fp      runcache.Fingerprint
+	vec     []float64
+	metrics map[string]float64
+	dead    bool
+}
+
+// kdNode is one node of a k-d tree over mpoints. The tree is built once per
+// fit and never rebalanced; axis is depth mod dimensions.
+type kdNode struct {
+	p           *mpoint
+	left, right *kdNode
+}
+
+// buildKD builds a balanced k-d tree by median split. The sort key is
+// (coordinate, fingerprint): the fingerprint tiebreak makes the tree — and
+// therefore every prediction — a pure function of the training set, never
+// of insertion order.
+func buildKD(pts []*mpoint, depth, dims int) *kdNode {
+	if len(pts) == 0 {
+		return nil
+	}
+	axis := depth % dims
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].vec[axis] != pts[j].vec[axis] {
+			return pts[i].vec[axis] < pts[j].vec[axis]
+		}
+		return pts[i].fp < pts[j].fp
+	})
+	mid := len(pts) / 2
+	return &kdNode{
+		p:     pts[mid],
+		left:  buildKD(pts[:mid], depth+1, dims),
+		right: buildKD(pts[mid+1:], depth+1, dims),
+	}
+}
+
+// neighbor is one k-NN candidate: squared distance plus the point.
+type neighbor struct {
+	d2 float64
+	p  *mpoint
+}
+
+// knnAcc accumulates the k best neighbors as a small sorted slice (k is
+// single digits; insertion beats a heap at that size). Order is
+// (distance, fingerprint) so equidistant candidates resolve the same way
+// on every run.
+type knnAcc struct {
+	k     int
+	items []neighbor
+}
+
+func (a *knnAcc) less(x, y neighbor) bool {
+	if x.d2 != y.d2 {
+		return x.d2 < y.d2
+	}
+	return x.p.fp < y.p.fp
+}
+
+func (a *knnAcc) full() bool { return len(a.items) == a.k }
+
+// bound is the squared distance a new candidate must beat; +Inf while the
+// accumulator still has room.
+func (a *knnAcc) bound() float64 {
+	if !a.full() {
+		return inf
+	}
+	return a.items[len(a.items)-1].d2
+}
+
+func (a *knnAcc) offer(p *mpoint, d2 float64) {
+	cand := neighbor{d2: d2, p: p}
+	if a.full() && !a.less(cand, a.items[len(a.items)-1]) {
+		return
+	}
+	i := sort.Search(len(a.items), func(i int) bool { return a.less(cand, a.items[i]) })
+	if a.full() {
+		a.items = a.items[:len(a.items)-1]
+	}
+	a.items = append(a.items, neighbor{})
+	copy(a.items[i+1:], a.items[i:])
+	a.items[i] = cand
+}
+
+var inf = math.Inf(1)
+
+// search walks the tree accumulating the k nearest live points to q.
+// Tombstoned points are traversed (their subtrees may hold live points)
+// but never offered.
+func (n *kdNode) search(q []float64, depth int, acc *knnAcc) {
+	if n == nil {
+		return
+	}
+	axis := depth % len(q)
+	diff := q[axis] - n.p.vec[axis]
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = n.right, n.left
+	}
+	near.search(q, depth+1, acc)
+	if !n.p.dead {
+		acc.offer(n.p, sqDist(q, n.p.vec))
+	}
+	// The far subtree can only hold a closer point if the splitting plane
+	// is nearer than the current k-th best ('<=' keeps ties deterministic:
+	// equidistant candidates across the plane are always examined, so the
+	// fingerprint tiebreak decides, not tree shape).
+	if diff*diff <= acc.bound() {
+		far.search(q, depth+1, acc)
+	}
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,227 @@
+package surrogate
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"uopsim/internal/runcache"
+)
+
+// linePoint builds a training point on a 1-D numeric line (capacity) inside
+// one categorical partition (workload), with upc = a + b*x.
+func linePoint(wl string, x float64, a, b float64) Point {
+	return Point{
+		Fingerprint: runcache.Fingerprint(fmt.Sprintf("fp-%s-%g", wl, x)),
+		Features: runcache.Features{
+			{Key: "workload", Value: wl},
+			{Key: "config.capacity", Value: fmt.Sprintf("%g", x)},
+		},
+		Metrics: map[string]float64{"upc": a + b*x, "ipc": 2 * (a + b*x)},
+	}
+}
+
+func lineModel(t *testing.T, wl string, xs []float64) *Model {
+	t.Helper()
+	m := New(Options{K: 3})
+	var pts []Point
+	for _, x := range xs {
+		pts = append(pts, linePoint(wl, x, 1.0, 0.001))
+	}
+	m.Fit(pts)
+	return m
+}
+
+func queryFeat(wl string, x float64) runcache.Features {
+	return runcache.Features{
+		{Key: "workload", Value: wl},
+		{Key: "config.capacity", Value: fmt.Sprintf("%g", x)},
+	}
+}
+
+func TestExactMatchIsConfidenceOne(t *testing.T) {
+	m := lineModel(t, "bm_cc", []float64{1024, 2048, 4096})
+	pred, ok := m.Predict(queryFeat("bm_cc", 2048))
+	if !ok {
+		t.Fatal("Predict failed on a training point")
+	}
+	if !pred.Exact || pred.Confidence != 1 {
+		t.Fatalf("training point should be an exact hit: %+v", pred)
+	}
+	want := 1.0 + 0.001*2048
+	if pred.Metrics["upc"] != want {
+		t.Fatalf("exact hit upc = %v, want stored %v", pred.Metrics["upc"], want)
+	}
+}
+
+func TestInterpolationBetweenNeighbors(t *testing.T) {
+	m := lineModel(t, "bm_cc", []float64{1024, 2048, 4096, 8192})
+	pred, ok := m.Predict(queryFeat("bm_cc", 3072))
+	if !ok {
+		t.Fatal("Predict failed between training points")
+	}
+	if pred.Exact {
+		t.Fatal("3072 is not a training point; exact hit means the canonical map is broken")
+	}
+	// The true value is 1 + 0.001*3072 = 4.072; inverse-distance blending
+	// of the bracketing points cannot leave the hull [3.048, 9.192] and
+	// should land well within it.
+	upc := pred.Metrics["upc"]
+	if upc < 1.0+0.001*1024 || upc > 1.0+0.001*8192 {
+		t.Fatalf("interpolated upc %v escaped the neighbor hull", upc)
+	}
+	if math.Abs(upc-4.072) > 1.5 {
+		t.Fatalf("interpolated upc %v too far from true 4.072", upc)
+	}
+	if pred.Confidence <= 0 || pred.Confidence >= 1 {
+		t.Fatalf("interpolated confidence must be in (0,1): %v", pred.Confidence)
+	}
+	if pred.Metrics["ipc"] <= upc {
+		t.Fatalf("ipc (= 2*upc by construction) should exceed upc: %+v", pred.Metrics)
+	}
+}
+
+func TestPartitionsNeverCross(t *testing.T) {
+	m := New(Options{K: 2})
+	m.Fit([]Point{
+		linePoint("bm_cc", 1024, 1, 0.001),
+		linePoint("bm_cc", 2048, 1, 0.001),
+	})
+	if _, ok := m.Predict(queryFeat("redis", 1536)); ok {
+		t.Fatal("a workload the model never saw must not get a prediction")
+	}
+}
+
+func TestUnknownNumericKeyIsIncomparable(t *testing.T) {
+	m := lineModel(t, "bm_cc", []float64{1024, 2048})
+	q := runcache.Features{
+		{Key: "workload", Value: "bm_cc"},
+		{Key: "config.capacity", Value: "1536"},
+		{Key: "config.newknob", Value: "7"},
+	}
+	if _, ok := m.Predict(q); ok {
+		t.Fatal("a numeric key outside the fitted layout must fall through, not alias")
+	}
+}
+
+func TestEmptyModelPredictsNothing(t *testing.T) {
+	m := New(Options{})
+	if _, ok := m.Predict(queryFeat("bm_cc", 1024)); ok {
+		t.Fatal("an empty model has no business predicting")
+	}
+}
+
+func TestInsertServesExactImmediately(t *testing.T) {
+	m := New(Options{})
+	p := linePoint("bm_cc", 2048, 1, 0.001)
+	m.Insert(p)
+	pred, ok := m.Predict(p.Features)
+	if !ok || !pred.Exact || pred.Confidence != 1 {
+		t.Fatalf("inserted point must be exactly servable at once: ok=%v pred=%+v", ok, pred)
+	}
+}
+
+func TestInsertsGrowTheKNNTier(t *testing.T) {
+	m := New(Options{K: 2})
+	// Small models retrain on nearly every insert, so a handful of inserts
+	// must make interpolation available without any explicit Fit.
+	for _, x := range []float64{1024, 2048, 4096, 8192} {
+		m.Insert(linePoint("bm_cc", x, 1, 0.001))
+	}
+	if _, ok := m.Predict(queryFeat("bm_cc", 3000)); !ok {
+		t.Fatalf("inserts never reached the k-NN tier: %+v", m.Stats())
+	}
+	if st := m.Stats(); st.Retrains == 0 {
+		t.Fatalf("incremental inserts should have triggered retrains: %+v", st)
+	}
+}
+
+func TestRemoveTombstonesAndRetrainReclaims(t *testing.T) {
+	m := New(Options{K: 1, RetrainPending: 100, RetrainFraction: 0.9})
+	var pts []Point
+	for _, x := range []float64{1000, 2000, 3000, 4000, 5000} {
+		pts = append(pts, linePoint("bm_cc", x, 0, 1))
+	}
+	m.Fit(pts)
+	// With K=1 the nearest neighbor to 2100 is the x=2000 point.
+	pred, ok := m.Predict(queryFeat("bm_cc", 2100))
+	if !ok || pred.Metrics["upc"] != 2000 {
+		t.Fatalf("precondition: nearest should be x=2000, got ok=%v %+v", ok, pred)
+	}
+	// Remove it: the tombstone must take effect immediately (no retrain
+	// needed at RetrainFraction 0.9 over 5 points... threshold is
+	// ceil(0.9*5)=5, so one edit does not refit).
+	m.Remove(pts[1].Fingerprint)
+	pred, ok = m.Predict(queryFeat("bm_cc", 2100))
+	if !ok {
+		t.Fatal("live points remain; prediction should still work")
+	}
+	if pred.Metrics["upc"] == 2000 {
+		t.Fatal("tombstoned point still served by the k-NN tier")
+	}
+	if p2, ok := m.Predict(pts[1].Features); ok && p2.Exact {
+		t.Fatal("removed point still exactly servable")
+	}
+	// Force the reclaim and confirm the dead point is really gone.
+	m.mu.Lock()
+	m.refitLocked()
+	m.mu.Unlock()
+	st := m.Stats()
+	if st.FittedPoints != 4 || st.LivePoints != 4 {
+		t.Fatalf("retrain did not reclaim the tombstone: %+v", st)
+	}
+}
+
+func TestFitIsOrderIndependent(t *testing.T) {
+	var fwd, rev []Point
+	for _, x := range []float64{512, 1024, 2048, 4096, 8192, 16384} {
+		fwd = append(fwd, linePoint("bm_cc", x, 1, 0.0005))
+		fwd = append(fwd, linePoint("redis", x, 2, 0.0007))
+	}
+	for i := len(fwd) - 1; i >= 0; i-- {
+		rev = append(rev, fwd[i])
+	}
+	a, b := New(Options{K: 3}), New(Options{K: 3})
+	a.Fit(fwd)
+	b.Fit(rev)
+	for _, wl := range []string{"bm_cc", "redis"} {
+		for _, x := range []float64{700, 1500, 3000, 6000, 12000} {
+			pa, oka := a.Predict(queryFeat(wl, x))
+			pb, okb := b.Predict(queryFeat(wl, x))
+			if oka != okb {
+				t.Fatalf("ok mismatch at %s/%g", wl, x)
+			}
+			if pa.Confidence != pb.Confidence || pa.Metrics["upc"] != pb.Metrics["upc"] {
+				t.Fatalf("fit order changed prediction at %s/%g: %+v vs %+v", wl, x, pa, pb)
+			}
+		}
+	}
+}
+
+func TestConfidenceDecaysWithDistance(t *testing.T) {
+	m := lineModel(t, "bm_cc", []float64{1000, 1100, 1200, 1300, 1400, 8000})
+	near, ok1 := m.Predict(queryFeat("bm_cc", 1150))
+	far, ok2 := m.Predict(queryFeat("bm_cc", 30000))
+	if !ok1 || !ok2 {
+		t.Fatal("both queries should interpolate")
+	}
+	if near.Confidence <= far.Confidence {
+		t.Fatalf("confidence must decay with distance: near=%v far=%v", near.Confidence, far.Confidence)
+	}
+}
+
+func TestSupersedingInsertUpdatesExact(t *testing.T) {
+	m := New(Options{})
+	p := linePoint("bm_cc", 2048, 1, 0.001)
+	m.Insert(p)
+	p2 := p
+	p2.Metrics = map[string]float64{"upc": 42}
+	m.Insert(p2)
+	pred, ok := m.Predict(p.Features)
+	if !ok || pred.Metrics["upc"] != 42 {
+		t.Fatalf("superseding insert must win the exact tier: ok=%v %+v", ok, pred)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("superseding insert must not grow the corpus: %d", m.Len())
+	}
+}

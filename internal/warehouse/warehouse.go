@@ -47,6 +47,20 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Hook observes live-set changes: RecordPut after a record lands (new or
+// superseding), RecordRemove after one leaves (eviction, deletion,
+// quarantine). Callbacks run on the mutating goroutine AFTER the store's
+// mutex is released — a hook may call back into the store, but it must not
+// assume the record is still present (a concurrent mutation may have run
+// between the event and the callback). Compaction fires nothing: it moves
+// bytes, never changes the live set. Replay-on-open also fires nothing;
+// install the hook after Open and seed from Iter. The surrogate model's
+// incremental training feed is the motivating consumer.
+type Hook interface {
+	RecordPut(fp runcache.Fingerprint, feat runcache.Features, blob []byte)
+	RecordRemove(fp runcache.Fingerprint)
+}
+
 // loc addresses one live record: the segment it lives in, the frame's
 // offset and length, and the logical-clock tick of its last use (the
 // eviction policy's recency signal — a counter, not wall clock, so replay
@@ -85,6 +99,14 @@ type Store struct {
 	closed     bool
 	st         Stats
 	buf        []byte // frame scratch, reused across Puts under mu
+	hook       Hook   // optional live-set observer; called after unlock
+}
+
+// SetHook installs (or clears, with nil) the live-set observer.
+func (s *Store) SetHook(h Hook) {
+	s.mu.Lock()
+	s.hook = h
+	s.mu.Unlock()
 }
 
 // Open opens (creating if needed) a warehouse at dir, replaying its
@@ -337,12 +359,13 @@ func (s *Store) appendLocked(r rec) (uint64, int64, int64, error) {
 // vector) under fp, superseding any previous record.
 func (s *Store) Put(fp runcache.Fingerprint, feat runcache.Features, blob []byte) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return fmt.Errorf("warehouse: store is closed")
 	}
 	segID, off, frameLen, err := s.appendLocked(rec{flags: recLive, fp: fp, feat: feat, blob: blob})
 	if err != nil {
+		s.mu.Unlock()
 		return err
 	}
 	if prev, ok := s.idx[fp]; ok {
@@ -354,10 +377,20 @@ func (s *Store) Put(fp runcache.Fingerprint, feat runcache.Features, blob []byte
 	s.idx[fp] = loc{seg: segID, off: off, frameLen: frameLen, lastUse: s.clock}
 	s.liveBytes += frameLen
 	s.st.Puts++
-	if err := s.evictLocked(fp); err != nil {
+	victims, err := s.evictLocked(fp)
+	if err != nil {
+		s.mu.Unlock()
 		return err
 	}
 	s.maybeCompactLocked()
+	h := s.hook
+	s.mu.Unlock()
+	if h != nil {
+		h.RecordPut(fp, feat, blob)
+		for _, v := range victims {
+			h.RecordRemove(v)
+		}
+	}
 	return nil
 }
 
@@ -425,23 +458,35 @@ func (s *Store) Location(fp runcache.Fingerprint) string {
 // bytes themselves are reclaimed by the next compaction.
 func (s *Store) Quarantine(fp runcache.Fingerprint) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.idx[fp]; !ok {
+		s.mu.Unlock()
 		return nil
 	}
 	s.st.Quarantined++
-	return s.deleteLocked(fp)
+	err := s.deleteLocked(fp)
+	h := s.hook
+	s.mu.Unlock()
+	if err == nil && h != nil {
+		h.RecordRemove(fp)
+	}
+	return err
 }
 
 // Delete tombstones fp's record (a no-op when absent).
 func (s *Store) Delete(fp runcache.Fingerprint) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.idx[fp]; !ok {
+		s.mu.Unlock()
 		return nil
 	}
 	s.st.Deletes++
-	return s.deleteLocked(fp)
+	err := s.deleteLocked(fp)
+	h := s.hook
+	s.mu.Unlock()
+	if err == nil && h != nil {
+		h.RecordRemove(fp)
+	}
+	return err
 }
 
 // deleteLocked appends a tombstone and drops fp from the index.
@@ -468,9 +513,11 @@ func (s *Store) deleteLocked(fp runcache.Fingerprint) error {
 // tombstoned, oldest first, down to 90% of the budget so each overflow
 // evicts a batch instead of thrashing one record at a time. keep is the
 // fingerprint just written — the newest record is never its own victim.
-func (s *Store) evictLocked(keep runcache.Fingerprint) error {
+// The evicted fingerprints are returned so Put can fire the hook's
+// RecordRemove events once the lock is released.
+func (s *Store) evictLocked(keep runcache.Fingerprint) ([]runcache.Fingerprint, error) {
 	if s.opts.MaxBytes <= 0 || s.liveBytes <= s.opts.MaxBytes {
-		return nil
+		return nil, nil
 	}
 	type cand struct {
 		fp      runcache.Fingerprint
@@ -486,16 +533,18 @@ func (s *Store) evictLocked(keep runcache.Fingerprint) error {
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].lastUse < cands[j].lastUse })
 	target := s.opts.MaxBytes * 9 / 10
+	var victims []runcache.Fingerprint
 	for _, c := range cands {
 		if s.liveBytes <= target {
 			break
 		}
 		s.st.Evictions++
 		if err := s.deleteLocked(c.fp); err != nil {
-			return err
+			return victims, err
 		}
+		victims = append(victims, c.fp)
 	}
-	return nil
+	return victims, nil
 }
 
 // maybeCompactLocked schedules a background compaction when dead bytes

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"uopsim/internal/runcache"
@@ -285,5 +286,83 @@ func TestBadFrameCapRejected(t *testing.T) {
 	}
 	if err := s.Put(fpN(2), nil, []byte("ok")); err != nil {
 		t.Fatal("store unusable after rejected oversized put:", err)
+	}
+}
+
+// recHook records hook events for inspection. Callbacks run on the
+// mutating goroutine, so a plain mutex suffices.
+type recHook struct {
+	mu      sync.Mutex
+	puts    []runcache.Fingerprint
+	removes []runcache.Fingerprint
+}
+
+func (h *recHook) RecordPut(fp runcache.Fingerprint, feat runcache.Features, blob []byte) {
+	h.mu.Lock()
+	h.puts = append(h.puts, fp)
+	h.mu.Unlock()
+}
+
+func (h *recHook) RecordRemove(fp runcache.Fingerprint) {
+	h.mu.Lock()
+	h.removes = append(h.removes, fp)
+	h.mu.Unlock()
+}
+
+func TestHookSeesPutsAndDeletes(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	h := &recHook{}
+	s.SetHook(h)
+	feat := runcache.Features{{Key: "workload", Value: "bm_cc"}}
+	if err := s.Put(fpN(1), feat, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(fpN(2), nil, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(fpN(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quarantine(fpN(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Absent-record deletes must not fire.
+	if err := s.Delete(fpN(9)); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.puts) != 2 || h.puts[0] != fpN(1) || h.puts[1] != fpN(2) {
+		t.Fatalf("puts = %v", h.puts)
+	}
+	if len(h.removes) != 2 || h.removes[0] != fpN(1) || h.removes[1] != fpN(2) {
+		t.Fatalf("removes = %v", h.removes)
+	}
+}
+
+func TestHookSeesEvictionVictims(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{MaxBytes: 4096, CompactFraction: 1})
+	h := &recHook{}
+	s.SetHook(h)
+	blob := bytes.Repeat([]byte("y"), 200)
+	for i := 0; i < 50; i++ {
+		if err := s.Put(fpN(i), nil, blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions at a 20x overcommit")
+	}
+	if uint64(len(h.removes)) != st.Evictions {
+		t.Fatalf("hook saw %d removes, store counted %d evictions", len(h.removes), st.Evictions)
+	}
+	// Every victim the hook reported must actually be gone, and no
+	// surviving record may have been reported.
+	for _, fp := range h.removes {
+		if _, ok := s.Load(fp); ok {
+			t.Fatalf("hook reported %s evicted but it still loads", fp.Short())
+		}
+	}
+	if len(h.puts) != 50 {
+		t.Fatalf("hook saw %d puts, want 50", len(h.puts))
 	}
 }

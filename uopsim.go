@@ -31,6 +31,7 @@ import (
 	"uopsim/internal/pipeline"
 	"uopsim/internal/runcache"
 	"uopsim/internal/stats"
+	"uopsim/internal/surrogate"
 	"uopsim/internal/uopcache"
 	"uopsim/internal/warehouse"
 	"uopsim/internal/workload"
@@ -132,6 +133,62 @@ func NewWarehouseRunEngine(dir string, opts WarehouseOptions, verifyEvery int) (
 // with pts; failed points hold zero Runs and are summarized in the error.
 func RunDesignPoints(p ExperimentParams, pts []DesignPoint) ([]ExperimentRun, error) {
 	return experiments.RunPoints(p, pts)
+}
+
+// Features is the canonical feature vector the warehouse stores with each
+// design point (workload identity, run lengths, every config field).
+type Features = runcache.Features
+
+// Fingerprint is a design point's content-derived identity.
+type Fingerprint = runcache.Fingerprint
+
+// Surrogate is the warehouse-trained fast tier behind uopsimd's
+// /v1/estimate: a k-nearest-neighbor local-interpolation model over stored
+// feature vectors that predicts derived metrics with a per-prediction
+// confidence. See DESIGN.md §12.
+type Surrogate = surrogate.Model
+
+// SurrogateOptions tunes a Surrogate (zero values = documented defaults).
+type SurrogateOptions = surrogate.Options
+
+// SurrogatePoint is one training point: a fingerprint, its feature vector,
+// and its derived-metric values.
+type SurrogatePoint = surrogate.Point
+
+// SurrogatePrediction is one fast-tier answer with its confidence.
+type SurrogatePrediction = surrogate.Prediction
+
+// NewSurrogate builds an empty model; Fit or Insert train it.
+func NewSurrogate(opts SurrogateOptions) *Surrogate { return surrogate.New(opts) }
+
+// TrainSurrogate trains a fresh model on every decodable record in ws,
+// returning the model and how many records were skipped.
+func TrainSurrogate(ws *ResultsWarehouse, opts SurrogateOptions) (*Surrogate, int, error) {
+	return experiments.NewStoreSurrogate(ws, opts)
+}
+
+// DesignPointFeatures is the feature vector the engine stores for one
+// design point at p's run lengths — the query shape a Surrogate accepts.
+func DesignPointFeatures(pt DesignPoint, p ExperimentParams) (Features, error) {
+	return experiments.FeaturesForPoint(pt, p)
+}
+
+// DefaultEstimateConfidence is uopsimd's default /v1/estimate serving gate.
+const DefaultEstimateConfidence = experiments.DefaultEstimateConfidence
+
+// EstimateValidateOptions shapes the surrogate held-out accuracy harness
+// behind `uopexp -estimate-validate`.
+type EstimateValidateOptions = experiments.EstimateValidateOptions
+
+// EstimateValidationReport is the harness's machine-readable result.
+type EstimateValidationReport = experiments.EstimateReport
+
+// EstimateValidate trains a surrogate on a train split of the
+// workloads × schemes × capacities grid and scores the held-out split,
+// reporting per-metric relative error overall and over the confident
+// subset (what uopsimd would actually have served).
+func EstimateValidate(w io.Writer, p ExperimentParams, o EstimateValidateOptions) (*EstimateValidationReport, error) {
+	return experiments.EstimateValidate(w, p, o)
 }
 
 // StatsSnapshot is a stable-ordered dump of every registered instrument.

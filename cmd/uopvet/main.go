@@ -1,15 +1,20 @@
 // Command uopvet runs the repo's custom static-analysis suite
-// (internal/analysis): four checks that enforce the simulator's
-// determinism, runcache fingerprint safety, metrics-path hygiene, and
-// hot-path allocation discipline. CI runs it next to go vet; a clean tree
-// prints nothing and exits 0.
+// (internal/analysis): eight checks that enforce the simulator's
+// determinism, runcache fingerprint safety, metrics-path hygiene, hot-path
+// allocation discipline, mutex lock discipline (//uopvet:guardedby), the
+// hooks-after-unlock contract, atomic-access purity, and serving-layer
+// cancellation flow — plus a staleignore meta-check that reports
+// //uopvet:ignore directives that no longer suppress anything. CI runs it
+// next to go vet; a clean tree prints nothing and exits 0.
 //
 // Usage:
 //
-//	uopvet [-json] [-checks] [packages...]
+//	uopvet [-json] [-list] [packages...]
 //
 // Packages are directories, optionally suffixed /... (default ./...).
-// Exit status: 0 clean, 1 diagnostics reported, 2 load/usage error.
+// Exit status: 0 clean, 1 diagnostics reported, 2 load/usage error — so
+// CI gates on any non-zero status while scripts can distinguish "the code
+// has findings" (1) from "the tool could not run" (2).
 //
 // Suppress a finding with a trailing or preceding comment naming the check
 // and a justification:
@@ -17,7 +22,9 @@
 //	//uopvet:ignore determinism -- keys are sorted two lines down
 //
 // Mark a function for the hot-path allocation rules with //uopvet:hotpath
-// in its doc comment.
+// in its doc comment; annotate lock-protected struct fields with
+// //uopvet:guardedby <mutexField> and helpers whose callers hold the lock
+// with //uopvet:locked (see DESIGN.md §13 for the grammar).
 package main
 
 import (
@@ -37,14 +44,23 @@ func main() {
 func run() int {
 	var (
 		jsonOut    = flag.Bool("json", false, "emit diagnostics as a JSON array")
-		listChecks = flag.Bool("checks", false, "list the analyzers and exit")
+		listChecks bool
 	)
+	flag.BoolVar(&listChecks, "list", false, "list the check names and what each enforces, then exit")
+	flag.BoolVar(&listChecks, "checks", false, "alias for -list")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: uopvet [-json] [-list] [packages...]\n\n"+
+				"Packages are directories, optionally suffixed /... (default ./...).\n"+
+				"Exit status: 0 clean, 1 diagnostics reported, 2 load/usage error.\n\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	analyzers := analysis.DefaultAnalyzers()
-	if *listChecks {
+	if listChecks {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}

@@ -1,10 +1,14 @@
 // Package analysis is uopvet's engine: a small, stdlib-only static-analysis
 // framework (go/parser + go/types loading, positioned diagnostics,
-// //uopvet:ignore suppressions, //uopvet:hotpath markers) plus the four
-// concrete analyzers that turn the simulator's implicit invariants —
-// bit-determinism, runcache fingerprintability, metrics-path hygiene, and
-// hot-path allocation discipline — into lint failures instead of debugging
-// sessions. See DESIGN.md §8 for the invariants each check guards.
+// //uopvet:ignore suppressions, //uopvet:hotpath and //uopvet:guardedby
+// markers) plus the eight concrete analyzers that turn the simulator's
+// implicit invariants — bit-determinism, runcache fingerprintability,
+// metrics-path hygiene, hot-path allocation discipline, mutex lock
+// discipline, the hooks-after-unlock contract, atomic-access purity, and
+// serving-layer cancellation flow — into lint failures instead of
+// debugging sessions, and a staleignore meta-check that keeps the
+// suppression inventory honest. See DESIGN.md §8 and §13 for the
+// invariants each check guards.
 package analysis
 
 import (
@@ -68,12 +72,22 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Run executes every analyzer over every package and returns the surviving
 // diagnostics sorted by position (then check name) so output is stable.
+// When the StaleIgnore sentinel is among the analyzers, ignore directives
+// in the loaded files that suppressed nothing become findings of their own
+// after every real analyzer has run.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	stale := false
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Name == staleIgnoreName {
+				stale = true
+			}
 			a.Run(&Pass{Pkg: pkg, check: a.Name, sink: &diags})
 		}
+	}
+	if stale {
+		diags = append(diags, staleIgnores(pkgs)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -96,15 +110,25 @@ const (
 	hotpathDirective = "//uopvet:hotpath"
 )
 
+// ignoreNote is one parsed //uopvet:ignore directive. used flips when the
+// directive suppresses a diagnostic, so unspent notes can be reported as
+// stale afterwards.
+type ignoreNote struct {
+	pos    token.Position
+	checks []string
+	used   bool
+}
+
 // parseIgnores scans a file's comments for //uopvet:ignore directives and
-// records, per line, which checks are suppressed there. The directive
-// suppresses findings on its own line and on the line directly below, so it
-// works both trailing a statement and standing above one. Form:
+// records, per file, where they sit and which checks they suppress. A
+// directive suppresses findings on its own line and on the line directly
+// below, so it works both trailing a statement and standing above one.
+// Form:
 //
 //	//uopvet:ignore check1,check2 -- reason
 //
 // A missing check list suppresses every check (discouraged; spell them out).
-func parseIgnores(fset *token.FileSet, f *ast.File, into map[string]map[int][]string) {
+func parseIgnores(fset *token.FileSet, f *ast.File, into map[string][]*ignoreNote) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text, ok := strings.CutPrefix(c.Text, ignoreDirective)
@@ -112,7 +136,7 @@ func parseIgnores(fset *token.FileSet, f *ast.File, into map[string]map[int][]st
 				continue
 			}
 			if rest, cut := strings.CutPrefix(text, ":"); cut {
-				text = rest // tolerate //uopvet:ignore:check
+				text = rest // tolerate the colon form
 			}
 			text, _, _ = strings.Cut(text, "--") // strip the justification
 			var checks []string
@@ -123,14 +147,53 @@ func parseIgnores(fset *token.FileSet, f *ast.File, into map[string]map[int][]st
 				checks = []string{"*"}
 			}
 			pos := fset.Position(c.Pos())
-			byLine := into[pos.Filename]
-			if byLine == nil {
-				byLine = map[int][]string{}
-				into[pos.Filename] = byLine
-			}
-			byLine[pos.Line] = append(byLine[pos.Line], checks...)
+			into[pos.Filename] = append(into[pos.Filename], &ignoreNote{pos: pos, checks: checks})
 		}
 	}
+}
+
+const staleIgnoreName = "staleignore"
+
+// StaleIgnore is the sentinel analyzer enabling stale-suppression
+// detection: with it in the set, every ignore directive that suppressed no
+// diagnostic of any executed check is itself reported (at the directive's
+// position, under this check's name). Stale findings cannot be suppressed —
+// a dead directive must be deleted, not ignored harder. Run is a no-op;
+// the work happens in Run() after all real analyzers finish, because only
+// then is "suppressed nothing" decidable.
+var StaleIgnore = &Analyzer{
+	Name: staleIgnoreName,
+	Doc:  "flag ignore directives that no longer suppress any finding",
+	Run:  func(*Pass) {},
+}
+
+// staleIgnores reports the unspent ignore directives in the loaded files.
+func staleIgnores(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			for _, note := range pkg.loader.ignores[name] {
+				if note.used {
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Pos:     note.pos,
+					File:    note.pos.Filename,
+					Line:    note.pos.Line,
+					Col:     note.pos.Column,
+					Check:   staleIgnoreName,
+					Message: fmt.Sprintf("ignore directive for %s suppresses nothing here; delete the stale suppression", strings.Join(note.checks, ",")),
+				})
+			}
+		}
+	}
+	return diags
 }
 
 // IsHotpath reports whether fd carries the //uopvet:hotpath directive in
@@ -147,12 +210,18 @@ func IsHotpath(fd *ast.FuncDecl) bool {
 	return false
 }
 
-// DefaultAnalyzers returns the production check set in reporting order.
+// DefaultAnalyzers returns the production check set in reporting order:
+// the eight concrete checks plus the staleignore meta-check.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		Determinism,
 		RuncacheSafety(DefaultFingerprintRoots),
 		StatsPath,
 		Hotpath,
+		Guardedby,
+		UnlockedCallback,
+		AtomicMix,
+		Ctxflow,
+		StaleIgnore,
 	}
 }

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix enforces all-or-nothing atomicity per variable: a field or
+// variable updated through sync/atomic anywhere in the package must never
+// be touched with plain loads or stores elsewhere (the race detector only
+// catches the interleavings it happens to see; mixing disciplines is a
+// race by construction). Values of the atomic.* wrapper types
+// (atomic.Int64, atomic.Uint64, ...) may only be accessed through their
+// methods or by address — copying one copies the value non-atomically.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag plain loads/stores of variables that are updated via sync/atomic elsewhere in the package",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	// Pass 1: collect every variable whose address flows into a sync/atomic
+	// function, and mark the sanctioned access nodes (atomic call operands,
+	// atomic-typed method receivers, explicit address-taking).
+	atomicObjs := map[types.Object]bool{}
+	sanctioned := map[ast.Node]bool{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+					// atomic.AddUint64(&x, 1): the &x operand is the
+					// sanctioned access and registers x as atomic.
+					for _, arg := range n.Args {
+						if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+							sanctioned[ast.Unparen(u.X)] = true
+							if obj := exprObject(pass, u.X); obj != nil {
+								atomicObjs[obj] = true
+							}
+						}
+					}
+					return true
+				}
+				// Method on an atomic.* wrapper (x.Add, x.Load, ...): the
+				// receiver expression is the sanctioned access.
+				sanctioned[ast.Unparen(sel.X)] = true
+			case *ast.UnaryExpr:
+				// &x where x has an atomic wrapper type: passing the pointer
+				// (e.g. into a registration helper) is method-equivalent.
+				if n.Op == token.AND && isAtomicWrapper(pass.Pkg.Info.TypeOf(n.X)) {
+					sanctioned[ast.Unparen(n.X)] = true
+				}
+			}
+			return true
+		})
+	}
+
+	report := func(n ast.Expr, v *types.Var) {
+		if name := atomicWrapperName(v.Type()); name != "" {
+			pass.Reportf(n.Pos(),
+				"%s has atomic type %s; access it only through its methods — a plain copy or assignment is non-atomic",
+				v.Name(), name)
+			return
+		}
+		if atomicObjs[v] {
+			pass.Reportf(n.Pos(),
+				"%s is updated with sync/atomic elsewhere in this package; this plain access races with those updates — use atomic.Load/Store here too",
+				v.Name())
+		}
+	}
+
+	// Pass 2: report unsanctioned plain accesses.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sanctioned[n] {
+					return true
+				}
+				if fld := selectedField(pass, n); fld != nil {
+					report(n, fld)
+				}
+			case *ast.Ident:
+				v, ok := pass.Pkg.Info.Uses[n].(*types.Var)
+				// Fields are handled at their selector (and struct-literal
+				// keys are no access at all).
+				if ok && !v.IsField() && !sanctioned[n] {
+					report(n, v)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicWrapper reports whether t is one of the sync/atomic value types.
+func isAtomicWrapper(t types.Type) bool {
+	return atomicWrapperName(t) != ""
+}
+
+// atomicWrapperName returns "atomic.Int64" etc. when t is a sync/atomic
+// wrapper type, else "". Pointers to wrappers deliberately don't match:
+// holding or passing a *atomic.Int64 is safe, copying the value is not.
+func atomicWrapperName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	return "atomic." + obj.Name()
+}
+
+// exprObject resolves a plain ident or field selector to its canonical
+// object (Origin for fields so generic instantiations unify).
+func exprObject(pass *Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pass.Pkg.Info.Uses[e]; obj != nil {
+			return obj
+		}
+		return pass.Pkg.Info.Defs[e]
+	case *ast.SelectorExpr:
+		if fld := selectedField(pass, e); fld != nil {
+			return fld
+		}
+		// Package-qualified var (pkg.Counter).
+		if v, ok := pass.Pkg.Info.Uses[e.Sel].(*types.Var); ok && !v.IsField() {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,531 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the shared engine behind the concurrency analyzers
+// (guardedby, unlockedcallback): directive parsing for the
+// guardedby/locked grammar and an intra-procedural lock-region tracker.
+//
+// Directive grammar (see DESIGN.md §13):
+//
+//	//uopvet:guardedby <mutexField>        on a struct field
+//	//uopvet:locked [mutexFields] -- why   on a method's doc comment
+//
+// guardedby names a sync.Mutex or sync.RWMutex field of the same struct
+// that must be held on every access to the annotated field. locked marks a
+// helper whose contract is "caller holds the receiver's mutex(es)
+// exclusively on entry"; with no names it asserts every mutex-typed field
+// of the receiver struct.
+const (
+	guardedbyDirective = "//uopvet:guardedby"
+	lockedDirective    = "//uopvet:locked"
+)
+
+// directiveArgs extracts the argument list of a single-line directive
+// comment: the text after prefix (which must be followed by a space or
+// nothing), with the `-- reason` suffix stripped. The second result is
+// false when the comment does not carry the directive.
+func directiveArgs(text, prefix string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, prefix)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return "", false
+	}
+	rest, _, _ = strings.Cut(rest, "--")
+	return strings.TrimSpace(rest), true
+}
+
+// lockSet tracks which mutexes are provably held at a program point, keyed
+// by the rendered access path of the mutex ("s.mu", "m.mu"). The value is
+// true for an exclusive Lock, false for a shared RLock.
+type lockSet map[string]bool
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// keys returns the held mutex paths sorted, for deterministic messages.
+func (s lockSet) keys() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// renderPath renders a simple access path (x, x.f, (*x).f) to its textual
+// form, or "" when the expression is not a plain ident/selector chain.
+func renderPath(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		base := renderPath(v.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + v.Sel.Name
+	case *ast.ParenExpr:
+		return renderPath(v.X)
+	case *ast.StarExpr:
+		return renderPath(v.X)
+	}
+	return ""
+}
+
+// isMutexType reports whether t (possibly behind a pointer) is sync.Mutex
+// or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockOp classifies call as a mutex lock/unlock operation and returns the
+// rendered path of the mutex it operates on.
+func lockOp(pass *Pass, call *ast.CallExpr) (path string, acquire, exclusive, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		acquire, exclusive = true, true
+	case "RLock":
+		acquire, exclusive = true, false
+	case "Unlock":
+		acquire, exclusive = false, true
+	case "RUnlock":
+		acquire, exclusive = false, false
+	default:
+		return
+	}
+	t := pass.Pkg.Info.TypeOf(sel.X)
+	if t == nil || !isMutexType(t) {
+		return
+	}
+	path = renderPath(sel.X)
+	ok = path != ""
+	return
+}
+
+// collectGuards gathers //uopvet:guardedby annotations from every struct in
+// the package, keyed by the field's (generic-origin) object. When report is
+// true, directives naming something that is not a mutex field of the same
+// struct become diagnostics.
+func collectGuards(pass *Pass, report bool) map[*types.Var]string {
+	guards := map[*types.Var]string{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mutex, pos, ok := guardDirective(field)
+				if !ok {
+					continue
+				}
+				if !structHasMutex(pass, st, mutex) {
+					if report {
+						pass.Reportf(pos,
+							"directive names %q, which is not a sync.Mutex or sync.RWMutex field of this struct", mutex)
+					}
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.Pkg.Info.Defs[name].(*types.Var); ok {
+						guards[v.Origin()] = mutex
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardDirective extracts the mutex name of a guardedby directive from a
+// struct field's doc or trailing comment.
+func guardDirective(field *ast.Field) (mutex string, pos token.Pos, ok bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			args, isDir := directiveArgs(c.Text, guardedbyDirective)
+			if !isDir {
+				continue
+			}
+			names := strings.Fields(args)
+			if len(names) == 0 {
+				return "", c.Pos(), true // empty name never validates
+			}
+			return names[0], c.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// structHasMutex reports whether the struct literally declares a mutex
+// field with the given name.
+func structHasMutex(pass *Pass, st *ast.StructType, name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, field := range st.Fields.List {
+		for _, id := range field.Names {
+			if id.Name != name {
+				continue
+			}
+			if t := pass.Pkg.Info.TypeOf(field.Type); t != nil && isMutexType(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lockedSeed builds the entry lock set asserted by a //uopvet:locked
+// directive on fd's doc comment: the named mutex fields of the receiver
+// (all mutex-typed fields when no names are given), held exclusively.
+func lockedSeed(pass *Pass, fd *ast.FuncDecl) lockSet {
+	seed := lockSet{}
+	if fd.Doc == nil || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return seed
+	}
+	var args string
+	found := false
+	for _, c := range fd.Doc.List {
+		if a, ok := directiveArgs(c.Text, lockedDirective); ok {
+			args, found = a, true
+			break
+		}
+	}
+	if !found {
+		return seed
+	}
+	recv := fd.Recv.List[0].Names[0].Name
+	names := strings.FieldsFunc(args, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+	if len(names) == 0 {
+		names = receiverMutexFields(pass, fd)
+	}
+	for _, name := range names {
+		seed[recv+"."+name] = true
+	}
+	return seed
+}
+
+// receiverMutexFields lists the mutex-typed field names of fd's receiver
+// struct.
+func receiverMutexFields(pass *Pass, fd *ast.FuncDecl) []string {
+	fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	st, ok := deref(sig.Recv().Type()).Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var names []string
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); isMutexType(f.Type()) {
+			names = append(names, f.Name())
+		}
+	}
+	return names
+}
+
+// freshObjects collects local variables bound to freshly-constructed values
+// (composite literals, possibly behind &) inside fd. Accesses through them
+// are exempt from guardedby: a value nothing else can see yet needs no
+// lock.
+func freshObjects(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	if fd.Body == nil {
+		return fresh
+	}
+	isLit := func(e ast.Expr) bool {
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			e = u.X
+		}
+		_, ok := e.(*ast.CompositeLit)
+		return ok
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !isLit(n.Rhs[i]) {
+					continue
+				}
+				if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) != len(n.Values) {
+				return true
+			}
+			for i, id := range n.Names {
+				if !isLit(n.Values[i]) {
+					continue
+				}
+				if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isFuncField reports whether v is a field of function type (a dynamic
+// call site when invoked).
+func isFuncField(v *types.Var) bool {
+	_, ok := v.Type().Underlying().(*types.Signature)
+	return ok
+}
+
+// isInterfaceField reports whether v is a field of a callable interface
+// type.
+func isInterfaceField(v *types.Var) bool {
+	iface, ok := v.Type().Underlying().(*types.Interface)
+	return ok && iface.NumMethods() > 0
+}
+
+// selectedField resolves sel to the struct field it selects, or nil when it
+// is not a plain field selection. Origin() keys generic instantiations back
+// to their declared field.
+func selectedField(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.Pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	return v.Origin()
+}
+
+// lockWalker walks one function body tracking which mutexes are held at
+// each point. visit is called for every selector and call expression with
+// the current lock set and whether the expression sits in a write context
+// (assignment target, ++/--, or &-of).
+//
+// The tracking is deliberately syntactic and flow-insensitive across
+// branches: sequential statements mutate the set in place (Lock adds,
+// Unlock removes, defer Unlock keeps the lock to function end), while
+// nested blocks, branches, and loops operate on clones so an early-unlock-
+// and-return path cannot leak its release into the fall-through. Function
+// literals start from an empty set — a closure may run on any goroutine at
+// any time, so it must acquire its own locks (sort comparators and hooks
+// that need guarded state should work on locals captured under the lock).
+type lockWalker struct {
+	pass  *Pass
+	visit func(n ast.Node, held lockSet, write bool)
+}
+
+func (w *lockWalker) walkFunc(fd *ast.FuncDecl, seed lockSet) {
+	if fd.Body == nil {
+		return
+	}
+	w.walkStmts(fd.Body.List, seed.clone())
+}
+
+func (w *lockWalker) walkStmts(list []ast.Stmt, held lockSet) {
+	for _, s := range list {
+		w.walkStmt(s, held)
+	}
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held lockSet) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if path, acquire, exclusive, isOp := lockOp(w.pass, call); isOp {
+				if acquire {
+					held[path] = exclusive
+				} else {
+					delete(held, path)
+				}
+				return
+			}
+		}
+		w.walkExpr(s.X, held, false)
+	case *ast.DeferStmt:
+		if _, _, _, isOp := lockOp(w.pass, s.Call); isOp {
+			return // deferred Unlock: the lock is held to function end
+		}
+		w.walkExpr(s.Call, held, false)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.walkExpr(rhs, held, false)
+		}
+		for _, lhs := range s.Lhs {
+			w.walkExpr(lhs, held, true)
+		}
+	case *ast.IncDecStmt:
+		w.walkExpr(s.X, held, true)
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			w.walkExpr(arg, held, false)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.walkStmts(fl.Body.List, lockSet{})
+		} else {
+			w.walkExpr(s.Call.Fun, held, false)
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, held.clone())
+	case *ast.IfStmt:
+		w.walkStmt(s.Init, held)
+		w.walkExpr(s.Cond, held, false)
+		w.walkStmts(s.Body.List, held.clone())
+		if s.Else != nil {
+			w.walkStmt(s.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		inner := held.clone()
+		w.walkStmt(s.Init, inner)
+		if s.Cond != nil {
+			w.walkExpr(s.Cond, inner, false)
+		}
+		w.walkStmt(s.Post, inner)
+		w.walkStmts(s.Body.List, inner)
+	case *ast.RangeStmt:
+		inner := held.clone()
+		w.walkExpr(s.X, inner, false)
+		w.walkStmts(s.Body.List, inner)
+	case *ast.SwitchStmt:
+		w.walkStmt(s.Init, held)
+		if s.Tag != nil {
+			w.walkExpr(s.Tag, held, false)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.walkExpr(e, held, false)
+			}
+			w.walkStmts(cc.Body, held.clone())
+		}
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(s.Init, held)
+		w.walkStmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			w.walkStmts(cc.Body, held.clone())
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			inner := held.clone()
+			w.walkStmt(cc.Comm, inner)
+			w.walkStmts(cc.Body, inner)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.walkExpr(e, held, false)
+		}
+	case *ast.SendStmt:
+		w.walkExpr(s.Chan, held, false)
+		w.walkExpr(s.Value, held, false)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.walkExpr(v, held, false)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (w *lockWalker) walkExpr(e ast.Expr, held lockSet, write bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ident, *ast.BasicLit:
+	case *ast.SelectorExpr:
+		w.visit(e, held, write)
+		w.walkExpr(e.X, held, write)
+	case *ast.CallExpr:
+		w.visit(e, held, false)
+		if fl, ok := e.Fun.(*ast.FuncLit); ok {
+			w.walkStmts(fl.Body.List, lockSet{})
+		} else {
+			w.walkExpr(e.Fun, held, false)
+		}
+		for _, arg := range e.Args {
+			w.walkExpr(arg, held, false)
+		}
+	case *ast.FuncLit:
+		w.walkStmts(e.Body.List, lockSet{})
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			w.walkExpr(e.X, held, true)
+		} else {
+			w.walkExpr(e.X, held, write)
+		}
+	case *ast.ParenExpr:
+		w.walkExpr(e.X, held, write)
+	case *ast.StarExpr:
+		w.walkExpr(e.X, held, write)
+	case *ast.IndexExpr:
+		w.walkExpr(e.X, held, write)
+		w.walkExpr(e.Index, held, false)
+	case *ast.IndexListExpr:
+		w.walkExpr(e.X, held, write)
+		for _, idx := range e.Indices {
+			w.walkExpr(idx, held, false)
+		}
+	case *ast.SliceExpr:
+		w.walkExpr(e.X, held, write)
+		for _, b := range []ast.Expr{e.Low, e.High, e.Max} {
+			if b != nil {
+				w.walkExpr(b, held, false)
+			}
+		}
+	case *ast.BinaryExpr:
+		w.walkExpr(e.X, held, false)
+		w.walkExpr(e.Y, held, false)
+	case *ast.KeyValueExpr:
+		w.walkExpr(e.Value, held, false)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			w.walkExpr(elt, held, false)
+		}
+	case *ast.TypeAssertExpr:
+		w.walkExpr(e.X, held, false)
+	}
+}

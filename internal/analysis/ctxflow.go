@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Ctxflow keeps the serving layer drainable: every goroutine spawned in
+// internal/server must observe a cancellation signal — a context.Context
+// (r.Context() deadlines), a quit/done/stop channel (the pool's quit), or
+// a sync.WaitGroup the drain path waits on — and every blocking select
+// must carry a cancellation case. A goroutine with none of these outlives
+// Drain and leaks a worker on every graceful shutdown.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "require serving-layer goroutines and blocking selects to observe a Context or quit/done channel",
+	Run:  runCtxflow,
+}
+
+// ctxflowScope lists the packages under the rule, matched by path suffix
+// (like wallClockExempt) so fixture copies under testdata exercise it.
+var ctxflowScope = []string{"internal/server"}
+
+func inCtxflowScope(path string) bool {
+	for _, suffix := range ctxflowScope {
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// cancelChanNames are channel identifiers treated as cancellation signals.
+func isCancelChanName(name string) bool {
+	return name == "quit" || name == "done" || name == "stop"
+}
+
+func runCtxflow(pass *Pass) {
+	if !inCtxflowScope(pass.Pkg.Path) {
+		return
+	}
+	// In-package function bodies, so `go p.worker()` resolves to worker's
+	// body instead of being opaque.
+	bodies := map[types.Object]*ast.BlockStmt{}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Pkg.Info.Defs[fd.Name]; obj != nil {
+					bodies[obj] = fd.Body
+				}
+			}
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				body := goBody(pass, n, bodies)
+				if body == nil {
+					return true // out-of-package callee: can't see inside
+				}
+				if !observesCancellation(pass, body) {
+					pass.Reportf(n.Pos(),
+						"goroutine in the serving layer observes neither a Context nor a quit/done channel; it will outlive Drain — thread r.Context() or the pool quit channel through it")
+				}
+			case *ast.SelectStmt:
+				blocking := true
+				cancellable := false
+				for _, c := range n.Body.List {
+					cc := c.(*ast.CommClause)
+					if cc.Comm == nil {
+						blocking = false // default case: non-blocking poll
+						continue
+					}
+					if commIsCancelCase(pass, cc.Comm) {
+						cancellable = true
+					}
+				}
+				if blocking && !cancellable {
+					pass.Reportf(n.Pos(),
+						"blocking select in the serving layer has no cancellation case; add a <-ctx.Done() or quit-channel case so drains cannot hang")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// goBody resolves the body a go statement will run: a function literal's
+// own body, or the body of an in-package named function/method.
+func goBody(pass *Pass, g *ast.GoStmt, bodies map[types.Object]*ast.BlockStmt) *ast.BlockStmt {
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		return bodies[pass.Pkg.Info.Uses[fun]]
+	case *ast.SelectorExpr:
+		return bodies[pass.Pkg.Info.Uses[fun.Sel]]
+	}
+	return nil
+}
+
+// observesCancellation reports whether body references a context.Context
+// value, a quit/done/stop-named channel, or a sync.WaitGroup method — any
+// of which ties the goroutine's lifetime to a drain signal.
+func observesCancellation(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			t := pass.Pkg.Info.TypeOf(n)
+			if isContextType(t) {
+				found = true
+			} else if isChanType(t) && isCancelChanName(n.Name) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			t := pass.Pkg.Info.TypeOf(n)
+			if isContextType(t) {
+				found = true
+			} else if isChanType(t) && isCancelChanName(n.Sel.Name) {
+				found = true
+			} else if s, ok := pass.Pkg.Info.Selections[n]; ok && s.Kind() == types.MethodVal && isWaitGroup(s.Recv()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// commIsCancelCase reports whether a select comm statement receives from a
+// cancellation source: <-ctx.Done() (any context method returning a
+// channel) or a quit/done/stop-named channel.
+func commIsCancelCase(pass *Pass, comm ast.Stmt) bool {
+	var recv ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		recv = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			recv = s.Rhs[0]
+		}
+	}
+	u, ok := ast.Unparen(recv).(*ast.UnaryExpr)
+	if !ok || u.Op != token.ARROW {
+		return false
+	}
+	switch src := ast.Unparen(u.X).(type) {
+	case *ast.CallExpr:
+		if sel, ok := src.Fun.(*ast.SelectorExpr); ok && isContextType(pass.Pkg.Info.TypeOf(sel.X)) {
+			return true
+		}
+	case *ast.Ident:
+		return isCancelChanName(src.Name)
+	case *ast.SelectorExpr:
+		return isCancelChanName(src.Sel.Name)
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func isWaitGroup(t types.Type) bool {
+	named, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

@@ -143,16 +143,46 @@ func TestHotpathFixture(t *testing.T) {
 	runFixture(t, "hotfix", Hotpath)
 }
 
+func TestGuardedbyFixture(t *testing.T) {
+	runFixture(t, "guardfix", Guardedby)
+}
+
+func TestUnlockedCallbackFixture(t *testing.T) {
+	runFixture(t, "cbfix", UnlockedCallback)
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	runFixture(t, "atomfix", AtomicMix)
+}
+
+// TestCtxflowFixture loads a fixture under an internal/server suffix so
+// the scope rule applies (mirroring the wall-clock allowlist fixture).
+func TestCtxflowFixture(t *testing.T) {
+	runFixture(t, filepath.Join("ctxfix", "internal", "server"), Ctxflow)
+}
+
 // TestFixturesAreRealistic guards the corpus itself: each fixture package
 // must produce at least one finding for its analyzer (an empty corpus would
 // silently stop testing anything).
 func TestFixturesAreRealistic(t *testing.T) {
 	l := repoLoader(t)
+	invariant := func(path string) []*Analyzer {
+		return []*Analyzer{Determinism, StatsPath, Hotpath,
+			RuncacheSafety([]TypeRoot{{PkgPath: path, TypeName: "Config"}, {PkgPath: path, TypeName: "Profile"}, {PkgPath: path, TypeName: "Sampling"}})}
+	}
 	for _, tc := range []struct {
-		dir string
-		min int
+		dir       string
+		min       int
+		analyzers func(path string) []*Analyzer
 	}{
-		{"determfix", 5}, {"rcfix", 6}, {"statsfix", 4}, {"hotfix", 5},
+		{"determfix", 5, invariant},
+		{"rcfix", 6, invariant},
+		{"statsfix", 4, invariant},
+		{"hotfix", 5, invariant},
+		{"guardfix", 6, func(string) []*Analyzer { return []*Analyzer{Guardedby} }},
+		{"cbfix", 3, func(string) []*Analyzer { return []*Analyzer{UnlockedCallback} }},
+		{"atomfix", 3, func(string) []*Analyzer { return []*Analyzer{AtomicMix} }},
+		{filepath.Join("ctxfix", "internal", "server"), 2, func(string) []*Analyzer { return []*Analyzer{Ctxflow} }},
 	} {
 		abs, err := filepath.Abs(filepath.Join("testdata", "src", tc.dir))
 		if err != nil {
@@ -162,10 +192,7 @@ func TestFixturesAreRealistic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		path := pkgs[0].Path
-		analyzers := []*Analyzer{Determinism, StatsPath, Hotpath,
-			RuncacheSafety([]TypeRoot{{PkgPath: path, TypeName: "Config"}, {PkgPath: path, TypeName: "Profile"}, {PkgPath: path, TypeName: "Sampling"}})}
-		if n := len(Run(pkgs, analyzers)); n < tc.min {
+		if n := len(Run(pkgs, tc.analyzers(pkgs[0].Path))); n < tc.min {
 			t.Errorf("%s: expected at least %d findings, got %d", tc.dir, tc.min, n)
 		}
 	}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Guardedby enforces the //uopvet:guardedby struct-field directive: every
+// access to an annotated field must provably hold the named mutex — via a
+// tracked Lock()/RLock()/defer Unlock() region in the same function or a
+// //uopvet:locked contract on the enclosing helper. Writes additionally
+// require the exclusive Lock (an RLock region only licenses reads).
+// Locals bound to freshly-constructed composite literals are exempt:
+// values no other goroutine can reach yet need no lock.
+var Guardedby = &Analyzer{
+	Name: "guardedby",
+	Doc:  "enforce //uopvet:guardedby field annotations by tracking mutex lock regions intra-procedurally",
+	Run:  runGuardedby,
+}
+
+func runGuardedby(pass *Pass) {
+	guards := collectGuards(pass, true)
+	if len(guards) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fresh := freshObjects(pass, fd)
+			w := &lockWalker{pass: pass, visit: func(n ast.Node, held lockSet, write bool) {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return
+				}
+				fld := selectedField(pass, sel)
+				if fld == nil {
+					return
+				}
+				mutex, guarded := guards[fld]
+				if !guarded {
+					return
+				}
+				if id := rootIdent(sel.X); id != nil {
+					obj := pass.Pkg.Info.Uses[id]
+					if obj == nil {
+						obj = pass.Pkg.Info.Defs[id]
+					}
+					if obj != nil && fresh[obj] {
+						return
+					}
+				}
+				base := renderPath(sel.X)
+				if base == "" {
+					return
+				}
+				key := base + "." + mutex
+				exclusive, heldHere := held[key]
+				switch {
+				case !heldHere:
+					pass.Reportf(sel.Pos(),
+						"%s.%s is guarded by %s and %s is not held here; acquire it or mark the enclosing helper //uopvet:locked",
+						base, fld.Name(), mutex, key)
+				case write && !exclusive:
+					pass.Reportf(sel.Pos(),
+						"write to %s.%s while %s is held shared (RLock); writes need the exclusive Lock",
+						base, fld.Name(), key)
+				}
+			}}
+			w.walkFunc(fd, lockedSeed(pass, fd))
+		}
+	}
+}
+
+// UnlockedCallback machine-checks the "call hooks after unlock" re-entry
+// contract: a call through a dynamic call site — a method on an
+// interface-typed struct field (warehouse.Hook) or an invocation of a
+// func-typed struct field — while any mutex is held can re-enter the
+// locked subsystem or block it for an unbounded time. Copy the field to a
+// local under the lock, release, then call the local.
+var UnlockedCallback = &Analyzer{
+	Name: "unlockedcallback",
+	Doc:  "flag calls through interface- or func-typed fields while a mutex is held (hooks run after unlock)",
+	Run:  runUnlockedCallback,
+}
+
+func runUnlockedCallback(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass, visit: func(n ast.Node, held lockSet, write bool) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(held) == 0 {
+					return
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return
+				}
+				holding := strings.Join(held.keys(), ", ")
+				if fld := selectedField(pass, sel); fld != nil {
+					if isFuncField(fld) {
+						pass.Reportf(call.Pos(),
+							"call through func-typed field %s while holding %s; copy it to a local, unlock, then call",
+							renderSel(sel), holding)
+					}
+					return
+				}
+				inner, ok := sel.X.(*ast.SelectorExpr)
+				if !ok {
+					return
+				}
+				if fld := selectedField(pass, inner); fld != nil && isInterfaceField(fld) {
+					pass.Reportf(call.Pos(),
+						"call through interface-typed field %s while holding %s; the hook contract is \"called after unlock\" — copy, release, then call",
+						renderSel(inner), holding)
+				}
+			}}
+			w.walkFunc(fd, lockedSeed(pass, fd))
+		}
+	}
+}
+
+func renderSel(sel *ast.SelectorExpr) string {
+	if p := renderPath(sel); p != "" {
+		return p
+	}
+	return sel.Sel.Name
+}

@@ -48,12 +48,13 @@ type Loader struct {
 	std     types.ImporterFrom
 	pkgs    map[string]*Package
 	loading map[string]bool
-	// ignores maps file name -> line -> suppressed check names, collected
-	// from //uopvet:ignore directives at parse time. It lives on the loader
-	// (not the package) so a diagnostic positioned in a dependency's file —
-	// e.g. runcache-safety flagging a nested config field — still honours a
-	// directive next to that field.
-	ignores map[string]map[int][]string
+	// ignores maps file name -> the ignore directives parsed from it, in
+	// source order. It lives on the loader (not the package) so a
+	// diagnostic positioned in a dependency's file — e.g. runcache-safety
+	// flagging a nested config field — still honours a directive next to
+	// that field, and each note carries a used bit so the staleignore
+	// check can report directives that suppressed nothing.
+	ignores map[string][]*ignoreNote
 }
 
 // NewLoader builds a loader for the module rooted at root.
@@ -74,7 +75,7 @@ func NewLoader(root string) (*Loader, error) {
 		std:     std,
 		pkgs:    map[string]*Package{},
 		loading: map[string]bool{},
-		ignores: map[string]map[int][]string{},
+		ignores: map[string][]*ignoreNote{},
 	}, nil
 }
 
@@ -289,18 +290,20 @@ func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 }
 
 // suppressed reports whether a diagnostic for check at position is covered
-// by an //uopvet:ignore directive on the same line or the line above.
+// by an //uopvet:ignore directive on the same line or the line above, and
+// marks every covering directive as spent for staleignore accounting.
 func (l *Loader) suppressed(position token.Position, check string) bool {
-	byLine := l.ignores[position.Filename]
-	if byLine == nil {
-		return false
-	}
-	for _, line := range [2]int{position.Line, position.Line - 1} {
-		for _, name := range byLine[line] {
+	covered := false
+	for _, note := range l.ignores[position.Filename] {
+		if note.pos.Line != position.Line && note.pos.Line != position.Line-1 {
+			continue
+		}
+		for _, name := range note.checks {
 			if name == check || name == "*" {
-				return true
+				note.used = true
+				covered = true
 			}
 		}
 	}
-	return false
+	return covered
 }

@@ -98,6 +98,96 @@ func Stamp() int64 { return time.Now().UnixNano() }
 	}
 }
 
+// TestConcurrencyMutationsCaught seeds one violation per concurrency check
+// into a scratch module shaped like the real serving stack — an unguarded
+// field write and a hook call under the lock in a warehouse, a mixed
+// atomic/plain field in stats, and a context-blind goroutine in a package
+// whose path ends in internal/server — and verifies each of the four
+// analyzers turns its seed into a diagnostic.
+func TestConcurrencyMutationsCaught(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("internal/warehouse/store.go", `package warehouse
+
+import "sync"
+
+type Hook interface {
+	Notify(id string)
+}
+
+type Store struct {
+	mu   sync.Mutex
+	hook Hook
+	n    int //uopvet:guardedby mu
+}
+
+func (s *Store) BumpUnlocked() {
+	s.n++
+}
+
+func (s *Store) PutAndNotify(id string) {
+	s.mu.Lock()
+	s.n++
+	s.hook.Notify(id)
+	s.mu.Unlock()
+}
+`)
+	write("internal/stats/count.go", `package stats
+
+import "sync/atomic"
+
+type Count struct {
+	hits int64
+}
+
+func (c *Count) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *Count) Peek() int64 {
+	return c.hits
+}
+`)
+	write("internal/server/handler.go", `package server
+
+func Spawn(work chan int) {
+	go func() {
+		for range work {
+		}
+	}()
+}
+`)
+
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(root + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, []*Analyzer{Guardedby, UnlockedCallback, AtomicMix, Ctxflow})
+	caught := map[string]bool{}
+	for _, d := range diags {
+		caught[d.Check] = true
+	}
+	for _, check := range []string{"guardedby", "unlockedcallback", "atomicmix", "ctxflow"} {
+		if !caught[check] {
+			t.Errorf("seeded %s violation not caught; diagnostics: %v", check, diags)
+		}
+	}
+}
+
 // TestLoaderRejectsOutsideModule pins the error path for patterns escaping
 // the module root.
 func TestLoaderRejectsOutsideModule(t *testing.T) {

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// suppressScratch is the fixture for the suppression-grammar tests: every
+// trigger() call is a diagnostic site for the fake analyzer, and each one
+// exercises one corner of the //uopvet:ignore grammar.
+const suppressScratch = `package scratch
+
+func trigger() {}
+
+func sameLine() {
+	trigger() //uopvet:ignore fake -- covered on the same line
+}
+
+func lineAbove() {
+	//uopvet:ignore fake -- covered from the line above
+	trigger()
+}
+
+func multiCheck() {
+	trigger() //uopvet:ignore other,fake -- one directive, several checks
+}
+
+func wrongCheck() {
+	trigger() //uopvet:ignore other -- fake, names in the reason must not count
+}
+
+func wildcard() {
+	trigger() //uopvet:ignore -- a bare directive suppresses every check
+}
+
+func bare() {
+	trigger()
+}
+`
+
+// fakeTrigger reports once per trigger() call under the check name "fake".
+var fakeTrigger = &Analyzer{Name: "fake", Run: func(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "trigger" {
+					pass.Reportf(call.Pos(), "trigger call")
+				}
+			}
+			return true
+		})
+	}
+}}
+
+// loadSuppressScratch writes the fixture into a fresh module and loads it
+// with its own loader, so each test gets pristine ignore-note accounting
+// (used bits persist on a loader across Run calls).
+func loadSuppressScratch(t *testing.T) []*Package {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module scratch\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "scratch.go"), []byte(suppressScratch), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+// TestSuppressionGrammar pins the directive grammar: same-line and
+// line-above placement both cover a finding, a comma list names several
+// checks, the reason after -- is inert even when it mentions check names,
+// and a bare directive is a wildcard. Only the wrong-check site and the
+// unsuppressed site survive.
+func TestSuppressionGrammar(t *testing.T) {
+	pkgs := loadSuppressScratch(t)
+	diags := Run(pkgs, []*Analyzer{fakeTrigger})
+	if len(diags) != 2 {
+		t.Fatalf("expected 2 surviving diagnostics (wrongCheck, bare), got %d: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Check != "fake" {
+			t.Errorf("unexpected check %q in %s", d.Check, d)
+		}
+	}
+}
+
+// TestStaleIgnoreReported verifies that with the StaleIgnore sentinel in
+// the set, the one directive that suppressed nothing (wrongCheck's
+// `//uopvet:ignore other`) becomes a staleignore finding at the directive's
+// position, while every spent directive stays silent.
+func TestStaleIgnoreReported(t *testing.T) {
+	pkgs := loadSuppressScratch(t)
+	diags := Run(pkgs, []*Analyzer{fakeTrigger, StaleIgnore})
+	var stale []Diagnostic
+	for _, d := range diags {
+		if d.Check == "staleignore" {
+			stale = append(stale, d)
+		}
+	}
+	if len(stale) != 1 {
+		t.Fatalf("expected exactly 1 staleignore finding, got %d: %v", len(stale), diags)
+	}
+	if !strings.Contains(stale[0].Message, "ignore directive for other") {
+		t.Errorf("stale finding should name the unspent check list: %s", stale[0])
+	}
+	if len(diags) != 3 {
+		t.Fatalf("expected 3 diagnostics total (2 fake + 1 stale), got %d: %v", len(diags), diags)
+	}
+}
+
+// TestStaleIgnoreOptIn verifies the sentinel is opt-in: without it in the
+// analyzer list, unspent directives produce nothing (the grammar test
+// already runs without it; this pins the count explicitly).
+func TestStaleIgnoreOptIn(t *testing.T) {
+	pkgs := loadSuppressScratch(t)
+	for _, d := range Run(pkgs, []*Analyzer{fakeTrigger}) {
+		if d.Check == "staleignore" {
+			t.Errorf("staleignore fired without the sentinel in the set: %s", d)
+		}
+	}
+}

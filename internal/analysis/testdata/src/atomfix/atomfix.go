@@ -1,0 +1,50 @@
+// Package atomfix exercises the atomicmix analyzer: a field updated via
+// sync/atomic must never see plain loads or stores, and atomic wrapper
+// values may only be touched through their methods (or by address).
+package atomfix
+
+import "sync/atomic"
+
+type gauge struct {
+	hits  uint64
+	cold  uint64
+	depth atomic.Int64
+}
+
+func (g *gauge) Touch() {
+	atomic.AddUint64(&g.hits, 1)
+	g.depth.Add(1)
+}
+
+func (g *gauge) Hits() uint64 {
+	return g.hits // want `hits is updated with sync/atomic elsewhere in this package`
+}
+
+func (g *gauge) Reset(v uint64) {
+	g.hits = v // want `hits is updated with sync/atomic elsewhere in this package`
+}
+
+func (g *gauge) Depth() int64 {
+	d := g.depth // want `depth has atomic type atomic.Int64`
+	return d.Load()
+}
+
+// Cold is plain everywhere, so plain access is consistent (whether it is
+// *safe* is guardedby's business, not atomicmix's).
+func (g *gauge) Cold() uint64 {
+	g.cold++
+	return g.cold
+}
+
+func (g *gauge) Sane() int64 {
+	return g.depth.Load()
+}
+
+func register(func() int64) {}
+
+// Register passes a pointer to the atomic value: pointers are fine, only
+// value copies lose atomicity.
+func (g *gauge) Register() {
+	p := &g.depth
+	register(p.Load)
+}

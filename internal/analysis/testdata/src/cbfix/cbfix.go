@@ -1,0 +1,62 @@
+// Package cbfix exercises the unlockedcallback analyzer: calls through
+// interface- and func-typed fields while a mutex is held, versus the
+// sanctioned copy-release-call pattern.
+package cbfix
+
+import "sync"
+
+type Hook interface {
+	Notify(key string)
+}
+
+type store struct {
+	mu   sync.Mutex
+	data map[string]int
+	hook Hook
+	emit func(key string)
+}
+
+func (s *store) PutBad(key string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[key] = v
+	s.hook.Notify(key) // want `call through interface-typed field s.hook while holding s.mu`
+	s.emit(key)        // want `call through func-typed field s.emit while holding s.mu`
+}
+
+// PutGood is the contract's shape: copy the hook under the lock, release,
+// then call the local.
+func (s *store) PutGood(key string, v int) {
+	s.mu.Lock()
+	s.data[key] = v
+	h := s.hook
+	s.mu.Unlock()
+	if h != nil {
+		h.Notify(key)
+	}
+}
+
+// flushLocked runs with mu held per its contract, so the hook call inside
+// it is exactly the re-entrancy hazard the analyzer exists for.
+//
+//uopvet:locked mu -- callers lock before flushing
+func (s *store) flushLocked(key string) {
+	s.hook.Notify(key) // want `call through interface-typed field s.hook while holding s.mu`
+}
+
+type logger struct{}
+
+func (logger) Notify(string) {}
+
+type static struct {
+	mu  sync.Mutex
+	log logger
+}
+
+// Put calls a concrete method on a struct-typed field: the callee is
+// statically known, not a dynamic call site.
+func (s *static) Put(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log.Notify(key)
+}

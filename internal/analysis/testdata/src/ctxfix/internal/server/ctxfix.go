@@ -1,0 +1,80 @@
+// Package server is a fixture copy under an internal/server path suffix so
+// the ctxflow scope rule applies: goroutines and blocking selects here
+// must observe a cancellation signal.
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+type pool struct {
+	quit chan struct{}
+	jobs chan int
+	wg   sync.WaitGroup
+}
+
+func (p *pool) LeakyGo() {
+	go func() { // want `goroutine in the serving layer observes neither a Context nor a quit/done channel`
+		for range p.jobs {
+		}
+	}()
+}
+
+func (p *pool) CtxGo(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// QuitGo resolves the in-package callee: worker's select watches quit.
+func (p *pool) QuitGo() {
+	go p.worker()
+}
+
+func (p *pool) worker() {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case j := <-p.jobs:
+			_ = j
+		}
+	}
+}
+
+// WaitGo ties the goroutine to a WaitGroup the drain path waits on.
+func (p *pool) WaitGo() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for range p.jobs {
+		}
+	}()
+}
+
+func (p *pool) BlockingSelect() int {
+	select { // want `blocking select in the serving layer has no cancellation case`
+	case j := <-p.jobs:
+		return j
+	}
+}
+
+// FailFast polls: a default case means the select cannot hang a drain.
+func (p *pool) FailFast() int {
+	select {
+	case j := <-p.jobs:
+		return j
+	default:
+		return -1
+	}
+}
+
+func (p *pool) CancellableSelect(ctx context.Context) int {
+	select {
+	case j := <-p.jobs:
+		return j
+	case <-ctx.Done():
+		return -1
+	}
+}

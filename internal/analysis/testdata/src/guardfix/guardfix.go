@@ -1,0 +1,97 @@
+// Package guardfix exercises the guardedby analyzer: annotated fields,
+// tracked lock regions, locked-helper contracts, fresh-object exemption,
+// and the writes-need-exclusive-Lock rule.
+package guardfix
+
+import "sync"
+
+type counters struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	n     int //uopvet:guardedby mu
+	reads int //uopvet:guardedby rw
+	bad   int //uopvet:guardedby gone // want `directive names "gone", which is not a sync.Mutex or sync.RWMutex field`
+}
+
+// newCounters builds a fresh value: nothing else can see it yet, so the
+// initialisation needs no lock.
+func newCounters() *counters {
+	c := &counters{}
+	c.n = 1
+	return c
+}
+
+func (c *counters) Locked() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+func (c *counters) DeferLocked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+func (c *counters) Unlocked() {
+	c.n++ // want `c.n is guarded by mu and c.mu is not held here`
+}
+
+func (c *counters) AfterUnlock() int {
+	c.mu.Lock()
+	c.n = 2
+	c.mu.Unlock()
+	return c.n // want `c.n is guarded by mu and c.mu is not held here`
+}
+
+func (c *counters) ReadLockedWrite() int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	c.reads++ // want `write to c.reads while c.rw is held shared`
+	return c.reads
+}
+
+// helperLocked's contract is "caller holds mu"; the directive seeds the
+// lock set so the body checks clean.
+//
+//uopvet:locked mu -- callers in this file lock first
+func (c *counters) helperLocked() {
+	c.n++
+}
+
+func (c *counters) CallsHelper() {
+	c.mu.Lock()
+	c.helperLocked()
+	c.mu.Unlock()
+}
+
+func (c *counters) helperUnannotated() {
+	c.n-- // want `c.n is guarded by mu and c.mu is not held here`
+}
+
+// Spawn holds the lock, but the goroutine body runs later on its own
+// schedule: closures start from an empty lock set.
+func (c *counters) Spawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `c.n is guarded by mu and c.mu is not held here`
+	}()
+}
+
+// Branch releases on an early-return path; the fall-through still holds.
+func (c *counters) Branch(flush bool) int {
+	c.mu.Lock()
+	if flush {
+		n := c.n
+		c.mu.Unlock()
+		return n
+	}
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+var _ = newCounters

@@ -63,9 +63,9 @@ type Engine[T any] struct {
 	verifyEvery int
 
 	mu        sync.Mutex
-	entries   map[Fingerprint]*entry[T]
-	st        Stats
-	verifySeq uint64
+	entries   map[Fingerprint]*entry[T] //uopvet:guardedby mu
+	st        Stats                     //uopvet:guardedby mu
+	verifySeq uint64                    //uopvet:guardedby mu
 }
 
 type entry[T any] struct {
@@ -213,21 +213,21 @@ func (e *Engine[T]) resolve(fp Fingerprint, feat Features, compute func() (T, er
 					v, err := e.verifyAgainst(fp, blob, compute)
 					return v, ResolvedCompute, err
 				}
-				e.bump(&e.st.DiskHits)
+				e.bump(func(s *Stats) { s.DiskHits++ })
 				return v, ResolvedDisk, nil
 			}
 			// The blob is undecodable or semantically invalid; pay the miss
 			// once. Quarantining it (rename to <fp>.bad, tombstone) keeps the
 			// next Load a clean miss instead of a decode failure forever.
-			e.bump(&e.st.BadBlobs)
+			e.bump(func(s *Stats) { s.BadBlobs++ })
 			_ = e.store.Quarantine(fp) // best effort: re-simulation below is the recovery either way
 		}
 	}
 	v, err := compute()
-	e.bump(&e.st.Simulated)
+	e.bump(func(s *Stats) { s.Simulated++ })
 	if err == nil && e.store != nil {
 		if blob, merr := json.Marshal(v); merr == nil && e.store.Put(fp, feat, blob) == nil {
-			e.bump(&e.st.DiskWrites)
+			e.bump(func(s *Stats) { s.DiskWrites++ })
 		}
 	}
 	return v, ResolvedCompute, err
@@ -237,7 +237,7 @@ func (e *Engine[T]) resolve(fp Fingerprint, feat Features, compute func() (T, er
 // encoding against the cached blob bit-for-bit.
 func (e *Engine[T]) verifyAgainst(fp Fingerprint, cached []byte, compute func() (T, error)) (T, error) {
 	v, err := compute()
-	e.bump(&e.st.Simulated)
+	e.bump(func(s *Stats) { s.Simulated++ })
 	if err != nil {
 		return v, fmt.Errorf("cache-verify %s: re-simulation failed: %w", fp.Short(), err)
 	}
@@ -246,11 +246,11 @@ func (e *Engine[T]) verifyAgainst(fp Fingerprint, cached []byte, compute func() 
 		return v, fmt.Errorf("cache-verify %s: %w", fp.Short(), err)
 	}
 	if !bytes.Equal(fresh, cached) {
-		e.bump(&e.st.VerifyFailed)
+		e.bump(func(s *Stats) { s.VerifyFailed++ })
 		return v, fmt.Errorf("cache-verify: cached blob %s does not match re-simulation (stale or corrupt cache entry; delete it or the cache directory)",
 			e.store.Location(fp))
 	}
-	e.bump(&e.st.Verified)
+	e.bump(func(s *Stats) { s.Verified++ })
 	return v, nil
 }
 
@@ -268,8 +268,11 @@ func (e *Engine[T]) shouldVerify() bool {
 	return e.verifySeq%uint64(e.verifyEvery) == 0
 }
 
-func (e *Engine[T]) bump(c *uint64) {
+// bump applies one counter mutation under the lock; callers pass a
+// closure instead of a field pointer so no guarded address escapes the
+// lock region.
+func (e *Engine[T]) bump(f func(*Stats)) {
 	e.mu.Lock()
-	*c++
+	f(&e.st)
 	e.mu.Unlock()
 }

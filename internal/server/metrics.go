@@ -20,23 +20,47 @@ type metrics struct {
 	mu  sync.Mutex
 	reg *stats.Registry
 
-	admitted      stats.Counter // requests accepted into the queue
-	rejected      stats.Counter // 429: admission queue full
-	rejectedDrain stats.Counter // 503: submitted while draining
-	completed     stats.Counter // simulations resolved (any resolution)
-	failed        stats.Counter // resolutions that returned an error
-	expired       stats.Counter // deadline passed before a worker picked it up
-	timeouts      stats.Counter // handler stopped waiting (504)
-	simSampled    stats.Counter // completed resolutions of interval-sampled points
-	simFull       stats.Counter // completed resolutions of full-simulation points
-	latency       *stats.Hist   // resolution latency, milliseconds
-	latMean       stats.Mean    // same, as a running mean (Retry-After hints)
+	admitted      stats.Counter //uopvet:guardedby mu
+	rejected      stats.Counter //uopvet:guardedby mu
+	rejectedDrain stats.Counter //uopvet:guardedby mu
+	completed     stats.Counter //uopvet:guardedby mu
+	failed        stats.Counter //uopvet:guardedby mu
+	expired       stats.Counter //uopvet:guardedby mu
+	timeouts      stats.Counter //uopvet:guardedby mu
+	simSampled    stats.Counter //uopvet:guardedby mu
+	simFull       stats.Counter //uopvet:guardedby mu
+	latency       *stats.Hist   //uopvet:guardedby mu
+	latMean       stats.Mean    //uopvet:guardedby mu
 
-	estRequests    stats.Counter // /v1/estimate requests admitted past validation
-	estServed      stats.Counter // answered from the surrogate fast tier
-	estFallthrough stats.Counter // fell through to real simulation
-	estLatency     *stats.Hist   // estimate latency, microseconds (the fast path is sub-ms)
+	estRequests    stats.Counter //uopvet:guardedby mu
+	estServed      stats.Counter //uopvet:guardedby mu
+	estFallthrough stats.Counter //uopvet:guardedby mu
+	estLatency     *stats.Hist   //uopvet:guardedby mu
 }
+
+// The fields above, in registration order: admitted (requests accepted
+// into the queue), rejected (429: admission queue full), rejectedDrain
+// (503: submitted while draining), completed (simulations resolved),
+// failed (resolutions that errored), expired (deadline passed before a
+// worker picked it up), timeouts (handler stopped waiting, 504),
+// simSampled/simFull (completions split by simulation mode), latency
+// (resolution ms) with latMean (running mean for Retry-After hints), and
+// the estimate tier: estRequests (past validation), estServed (answered
+// by the surrogate), estFallthrough (fell through to simulation),
+// estLatency (µs — the fast path is sub-ms).
+
+// counterID names a metrics counter for inc, so callers never hold a
+// pointer to a guarded field outside the lock.
+type counterID uint8
+
+const (
+	cAdmitted counterID = iota
+	cRejected
+	cRejectedDrain
+	cExpired
+	cTimeouts
+	cEstRequests
+)
 
 func newMetrics(eng *experiments.Engine, p *pool, ws *warehouse.Store, sur *surrogate.Model) *metrics {
 	m := &metrics{
@@ -79,9 +103,22 @@ func newMetrics(eng *experiments.Engine, p *pool, ws *warehouse.Store, sur *surr
 }
 
 // inc bumps one counter under the lock.
-func (m *metrics) inc(c *stats.Counter) {
+func (m *metrics) inc(id counterID) {
 	m.mu.Lock()
-	c.Inc()
+	switch id {
+	case cAdmitted:
+		m.admitted.Inc()
+	case cRejected:
+		m.rejected.Inc()
+	case cRejectedDrain:
+		m.rejectedDrain.Inc()
+	case cExpired:
+		m.expired.Inc()
+	case cTimeouts:
+		m.timeouts.Inc()
+	case cEstRequests:
+		m.estRequests.Inc()
+	}
 	m.mu.Unlock()
 }
 

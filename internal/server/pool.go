@@ -37,7 +37,7 @@ type pool struct {
 	inflight atomic.Int64
 
 	mu       sync.Mutex
-	draining bool
+	draining bool           //uopvet:guardedby mu
 	pending  sync.WaitGroup // submitters between the draining check and their enqueue
 	wg       sync.WaitGroup // workers
 }

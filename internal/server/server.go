@@ -354,26 +354,26 @@ func (s *Server) resolveOne(ctx context.Context, pt experiments.PointRequest, wa
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrSaturated):
-			s.met.inc(&s.met.rejected)
+			s.met.inc(cRejected)
 			return nil, http.StatusTooManyRequests, err
 		case errors.Is(err, ErrDraining):
-			s.met.inc(&s.met.rejectedDrain)
+			s.met.inc(cRejectedDrain)
 			return nil, http.StatusServiceUnavailable, err
 		default: // deadline expired while blocked on admission
-			s.met.inc(&s.met.timeouts)
+			s.met.inc(cTimeouts)
 			return nil, http.StatusGatewayTimeout, fmt.Errorf("deadline expired awaiting admission: %w", err)
 		}
 	}
-	s.met.inc(&s.met.admitted)
+	s.met.inc(cAdmitted)
 	select {
 	case <-t.done:
 	case <-ctx.Done():
-		s.met.inc(&s.met.timeouts)
+		s.met.inc(cTimeouts)
 		return nil, http.StatusGatewayTimeout, fmt.Errorf(
 			"deadline exceeded after %dms; a simulation that was already executing may still finish and warm the cache for a retry", time.Since(start).Milliseconds())
 	}
 	if !t.ran {
-		s.met.inc(&s.met.expired)
+		s.met.inc(cExpired)
 		return nil, http.StatusGatewayTimeout, fmt.Errorf("deadline expired before a worker picked the request up")
 	}
 	if rerr != nil {

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Kind identifies the instrument type behind a registered path.
@@ -57,12 +58,19 @@ type instrument struct {
 // no indirection to the cycle loop. Snapshot reads every instrument into a
 // stable-ordered value that the JSON and Prometheus exporters serialize.
 //
-// A Registry is not safe for concurrent registration or snapshotting; each
-// simulator owns one and touches it from its own goroutine only.
+// The registry structure — registration, lookup, and the snapshot's
+// ordering state — is goroutine-safe behind one mutex. Instrument values
+// are not: counters and histograms are plain values by design (the cycle
+// loop increments them with no lock and no indirection), so concurrent
+// mutation and snapshotting still needs external synchronization, which
+// the serving layer provides (see uopsimd's metrics.mu). Single-goroutine
+// simulators pay one uncontended lock per registration/snapshot, never on
+// the hot path.
 type Registry struct {
-	byPath map[string]*instrument
-	insts  []*instrument
-	sorted bool
+	mu     sync.Mutex
+	byPath map[string]*instrument //uopvet:guardedby mu
+	insts  []*instrument          //uopvet:guardedby mu
+	sorted bool                   //uopvet:guardedby mu
 }
 
 // NewRegistry builds an empty registry.
@@ -74,6 +82,8 @@ func (r *Registry) add(in *instrument) {
 	if in.path == "" {
 		panic("stats: empty metric path")
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, dup := r.byPath[in.path]; dup {
 		panic(fmt.Sprintf("stats: duplicate metric path %q", in.path))
 	}
@@ -120,7 +130,9 @@ func (r *Registry) RegisterDist(path string, d *Distribution) {
 // the path is unregistered or not a counter: lookups are internal wiring, so
 // a miss is a programming error, not a runtime condition.
 func (r *Registry) CounterValue(path string) uint64 {
+	r.mu.Lock()
 	in := r.byPath[path]
+	r.mu.Unlock()
 	if in == nil || in.kind != KindCounter {
 		panic(fmt.Sprintf("stats: %q is not a registered counter", path))
 	}
@@ -130,10 +142,15 @@ func (r *Registry) CounterValue(path string) uint64 {
 // GaugeValue returns the live value of the gauge at path (same panic
 // contract as CounterValue).
 func (r *Registry) GaugeValue(path string) float64 {
+	r.mu.Lock()
 	in := r.byPath[path]
+	r.mu.Unlock()
 	if in == nil || in.kind != KindGauge {
 		panic(fmt.Sprintf("stats: %q is not a registered gauge", path))
 	}
+	// The gauge closure runs after unlock: it may read arbitrary locked
+	// subsystem state (engine stats, warehouse stats) and must not be able
+	// to deadlock back into this registry.
 	return in.gauge()
 }
 
@@ -204,12 +221,22 @@ type Snapshot struct {
 // Snapshot reads all instruments. The result is independent of the live
 // instruments and of registration order.
 func (r *Registry) Snapshot() Snapshot {
+	// Sort and copy the instrument list under the lock; read the
+	// instruments (and call gauge closures) after releasing it. The
+	// comparator works on a local alias because closures are outside the
+	// lock region, and sorting the shared backing array in place is what
+	// makes the sorted bit durable.
+	r.mu.Lock()
+	insts := r.insts
 	if !r.sorted {
-		sort.Slice(r.insts, func(i, j int) bool { return r.insts[i].path < r.insts[j].path })
+		sort.Slice(insts, func(i, j int) bool { return insts[i].path < insts[j].path })
 		r.sorted = true
 	}
-	out := Snapshot{Samples: make([]Sample, 0, len(r.insts))}
-	for _, in := range r.insts {
+	snap := make([]*instrument, len(insts))
+	copy(snap, insts)
+	r.mu.Unlock()
+	out := Snapshot{Samples: make([]Sample, 0, len(snap))}
+	for _, in := range snap {
 		s := Sample{Path: in.path, Kind: in.kind.String()}
 		switch in.kind {
 		case KindCounter:

@@ -159,12 +159,15 @@ type fitState struct {
 type Model struct {
 	opts Options
 
-	mu     sync.RWMutex
-	corpus map[runcache.Fingerprint]Point // live training set, source of truth
-	exact  map[string]exactVal            // canonical features → stored answer
-	canon  map[runcache.Fingerprint]string
-	fitted *fitState
-	edits  int // corpus changes since the last fit
+	mu sync.RWMutex
+	// live training set, source of truth
+	corpus map[runcache.Fingerprint]Point //uopvet:guardedby mu
+	// canonical features → stored answer
+	exact  map[string]exactVal             //uopvet:guardedby mu
+	canon  map[runcache.Fingerprint]string //uopvet:guardedby mu
+	fitted *fitState                       //uopvet:guardedby mu
+	// corpus changes since the last fit
+	edits int //uopvet:guardedby mu
 
 	retrains     atomic.Uint64
 	predictions  atomic.Uint64
@@ -226,6 +229,8 @@ func (m *Model) Fit(points []Point) {
 }
 
 // addCorpusLocked records one live point in the corpus and the exact map.
+//
+//uopvet:locked mu -- the Locked suffix is the contract
 func (m *Model) addCorpusLocked(p Point) bool {
 	if len(p.Metrics) == 0 || len(p.Features) == 0 {
 		m.skipped.Add(1)
@@ -291,6 +296,8 @@ func (m *Model) Remove(fp runcache.Fingerprint) {
 
 // retrainThresholdLocked is the edit count that triggers a refit:
 // min(RetrainPending, max(1, ceil(RetrainFraction×live fitted points))).
+//
+//uopvet:locked mu -- the Locked suffix is the contract
 func (m *Model) retrainThresholdLocked() int {
 	live := 0
 	if m.fitted != nil {
@@ -306,6 +313,7 @@ func (m *Model) retrainThresholdLocked() int {
 	return t
 }
 
+//uopvet:locked mu -- the Locked suffix is the contract
 func (m *Model) maybeRetrainLocked() {
 	if m.edits >= m.retrainThresholdLocked() {
 		m.refitLocked()
@@ -316,6 +324,8 @@ func (m *Model) maybeRetrainLocked() {
 // z-score normalization, and one k-d tree per categorical signature.
 // Deterministic by construction — fingerprint-sorted iteration, sorted
 // dimension keys — so the same corpus always fits the same model.
+//
+//uopvet:locked mu -- the Locked suffix is the contract
 func (m *Model) refitLocked() {
 	fps := make([]runcache.Fingerprint, 0, len(m.corpus))
 	for fp := range m.corpus {

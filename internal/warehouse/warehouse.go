@@ -89,17 +89,27 @@ type Store struct {
 	dir  string
 	opts Options
 
-	mu         sync.Mutex
-	segs       []*segment // ascending id; last is the append tail
-	idx        map[runcache.Fingerprint]loc
-	clock      uint64 // logical LRU clock, bumped per access
-	liveBytes  int64  // frame bytes of live records
-	deadBytes  int64  // frame bytes of superseded records and tombstones
-	compacting bool   // a background Compact is scheduled or running
-	closed     bool
-	st         Stats
-	buf        []byte // frame scratch, reused across Puts under mu
-	hook       Hook   // optional live-set observer; called after unlock
+	mu sync.Mutex
+	//uopvet:guardedby mu
+	segs []*segment // ascending id; last is the append tail
+	//uopvet:guardedby mu
+	idx map[runcache.Fingerprint]loc
+	//uopvet:guardedby mu
+	clock uint64 // logical LRU clock, bumped per access
+	//uopvet:guardedby mu
+	liveBytes int64 // frame bytes of live records
+	//uopvet:guardedby mu
+	deadBytes int64 // frame bytes of superseded records and tombstones
+	//uopvet:guardedby mu
+	compacting bool // a background Compact is scheduled or running
+	//uopvet:guardedby mu
+	closed bool
+	//uopvet:guardedby mu
+	st Stats
+	//uopvet:guardedby mu
+	buf []byte // frame scratch, reused across Puts under mu
+	//uopvet:guardedby mu
+	hook Hook // optional live-set observer; called after unlock
 }
 
 // SetHook installs (or clears, with nil) the live-set observer.
@@ -133,6 +143,8 @@ func (s *Store) segPath(id uint64) string {
 }
 
 // load replays every segment in id order and leaves the store appendable.
+//
+//uopvet:locked mu -- exclusive: runs pre-publication in Open
 func (s *Store) load() error {
 	names, err := filepath.Glob(filepath.Join(s.dir, "seg-*.whs"))
 	if err != nil {
@@ -181,6 +193,8 @@ func (s *Store) load() error {
 // tail marks the newest segment: only there is a bad frame a torn write to
 // recover from (truncate and keep appending); in a sealed segment it is
 // corruption to quarantine (skip the remainder).
+//
+//uopvet:locked mu -- exclusive: runs pre-publication in Open
 func (s *Store) replaySegment(id uint64, path string, tail bool) (*segment, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
@@ -274,6 +288,8 @@ func frameAt(data []byte, off int64) (payloadLen uint32, payload []byte, ok bool
 }
 
 // applyFrame folds one replayed frame into the index and byte accounting.
+//
+//uopvet:locked mu -- exclusive: runs pre-publication in Open
 func (s *Store) applyFrame(segID uint64, off, frameLen int64, r rec) {
 	if prev, ok := s.idx[r.fp]; ok {
 		s.liveBytes -= prev.frameLen
@@ -312,9 +328,13 @@ func (s *Store) newSegment(id uint64) (*segment, error) {
 }
 
 // tail returns the append segment.
+//
+//uopvet:locked mu -- callers hold the lock
 func (s *Store) tail() *segment { return s.segs[len(s.segs)-1] }
 
 // rotateLocked seals the tail and opens a fresh append segment.
+//
+//uopvet:locked mu -- the Locked suffix is the contract
 func (s *Store) rotateLocked() error {
 	t := s.tail()
 	if err := t.f.Sync(); err != nil {
@@ -330,6 +350,8 @@ func (s *Store) rotateLocked() error {
 
 // appendLocked writes one frame to the tail (rotating first if it would
 // overflow), fsyncs, and returns the frame's location.
+//
+//uopvet:locked mu -- the Locked suffix is the contract
 func (s *Store) appendLocked(r rec) (uint64, int64, int64, error) {
 	var err error
 	s.buf, err = appendFrame(s.buf[:0], r)
@@ -415,6 +437,8 @@ func (s *Store) Load(fp runcache.Fingerprint) ([]byte, bool) {
 
 // readLocked fetches and decodes fp's frame. The returned blob does not
 // alias store internals.
+//
+//uopvet:locked mu -- the Locked suffix is the contract
 func (s *Store) readLocked(fp runcache.Fingerprint) (rec, bool) {
 	l, ok := s.idx[fp]
 	if !ok {
@@ -439,6 +463,8 @@ func (s *Store) readLocked(fp runcache.Fingerprint) (rec, bool) {
 	return r, true
 }
 
+//
+//uopvet:locked mu -- callers hold the lock
 func (s *Store) segByID(id uint64) *segment {
 	for _, seg := range s.segs {
 		if seg.id == id {
@@ -490,6 +516,8 @@ func (s *Store) Delete(fp runcache.Fingerprint) error {
 }
 
 // deleteLocked appends a tombstone and drops fp from the index.
+//
+//uopvet:locked mu -- the Locked suffix is the contract
 func (s *Store) deleteLocked(fp runcache.Fingerprint) error {
 	if s.closed {
 		return fmt.Errorf("warehouse: store is closed")
@@ -515,6 +543,8 @@ func (s *Store) deleteLocked(fp runcache.Fingerprint) error {
 // fingerprint just written — the newest record is never its own victim.
 // The evicted fingerprints are returned so Put can fire the hook's
 // RecordRemove events once the lock is released.
+//
+//uopvet:locked mu -- the Locked suffix is the contract
 func (s *Store) evictLocked(keep runcache.Fingerprint) ([]runcache.Fingerprint, error) {
 	if s.opts.MaxBytes <= 0 || s.liveBytes <= s.opts.MaxBytes {
 		return nil, nil
@@ -549,6 +579,8 @@ func (s *Store) evictLocked(keep runcache.Fingerprint) ([]runcache.Fingerprint, 
 
 // maybeCompactLocked schedules a background compaction when dead bytes
 // cross the configured fraction of the store.
+//
+//uopvet:locked mu -- the Locked suffix is the contract
 func (s *Store) maybeCompactLocked() {
 	if s.compacting || s.closed || s.opts.CompactFraction >= 1 {
 		return
@@ -588,6 +620,8 @@ func (s *Store) Close() error {
 	return err
 }
 
+//
+//uopvet:locked mu -- exclusive: Close holds the lock, Open pre-publication
 func (s *Store) closeFiles() {
 	for _, seg := range s.segs {
 		if seg.f != nil {
@@ -610,6 +644,8 @@ func (s *Store) Len() int {
 // fingerprintsLocked returns the live fingerprints in sorted order (the
 // map range is made order-independent by the sort — iteration and query
 // output must not depend on scheduling).
+//
+//uopvet:locked mu -- the Locked suffix is the contract
 func (s *Store) fingerprintsLocked() []runcache.Fingerprint {
 	fps := make([]runcache.Fingerprint, 0, len(s.idx))
 	for fp := range s.idx {

@@ -1,0 +1,109 @@
+// Command uopgate fronts a fleet of uopsimd shards with one address. It
+// speaks the daemon's own API — POST /v1/simulate, /v1/estimate and
+// /v1/sweep route each design point to the shard owning its fingerprint on
+// a consistent-hash ring, so cluster-wide every unique point simulates
+// exactly once; /v1/query fans out to every shard and merges the streams
+// (sorted by fingerprint, spill duplicates collapsed); /v1/stats
+// aggregates per-shard balance and the summed engine counters. Membership
+// is the static -nodes list plus active /healthz probing: a shard that
+// fails -probe-fails consecutive probes (or request-path sends) is marked
+// down and its points spill to the next ring owner; when it answers again
+// it rejoins, and results that landed on its neighbors replicate back in
+// the background.
+//
+// Usage:
+//
+//	uopgate -addr :8090 -nodes http://127.0.0.1:8091,http://127.0.0.1:8092,http://127.0.0.1:8093
+//	curl -s localhost:8090/v1/simulate -d '{"workload":"bm_cc","scheme":"clasp"}'
+//	curl -s localhost:8090/v1/stats | jq .balance
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"uopsim/internal/cluster"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "uopgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", ":8090", "listen address")
+		nodes      = flag.String("nodes", "", "comma-separated uopsimd base URLs (required)")
+		vnodes     = flag.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0 = 128)")
+		probeEvery = flag.Duration("probe-interval", 2*time.Second, "health probe cadence")
+		probeFails = flag.Int("probe-fails", 2, "consecutive probe failures that mark a shard down")
+		maxPoints  = flag.Int("max-points", 1024, "cap on points per /v1/sweep call")
+	)
+	flag.Parse()
+
+	if *nodes == "" {
+		return fmt.Errorf("-nodes is required (comma-separated uopsimd base URLs)")
+	}
+	var urls []string
+	for _, u := range strings.Split(*nodes, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		urls = append(urls, strings.TrimRight(u, "/"))
+	}
+	gw, err := cluster.New(cluster.Config{
+		Nodes:          urls,
+		VNodes:         *vnodes,
+		ProbeInterval:  *probeEvery,
+		ProbeFails:     *probeFails,
+		MaxSweepPoints: *maxPoints,
+	})
+	if err != nil {
+		return err
+	}
+	gw.Start()
+	defer gw.Stop()
+
+	hs := &http.Server{Addr: *addr, Handler: gw}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("uopgate: listening on %s fronting %d shards (%d vnodes each)",
+			*addr, gw.Ring().Len(), gw.Ring().VNodes())
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// The gateway holds no simulation state of its own — shutdown is just
+	// closing the listener and stopping the prober/replicator (deferred).
+	log.Printf("uopgate: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		log.Printf("uopgate: shutdown: %v", err)
+	}
+	return nil
+}

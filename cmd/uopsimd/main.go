@@ -66,6 +66,7 @@ func run() error {
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "shutdown budget for in-flight simulations")
 		estConf      = flag.Float64("estimate-confidence", 0, "confidence gate for serving /v1/estimate from the surrogate fast tier (0 = default 0.7)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this side address, e.g. localhost:6060 (empty = off)")
+		nodeID       = flag.String("node", "", "node identity reported in /healthz for cluster membership (empty = listen address)")
 	)
 	flag.Parse()
 
@@ -103,6 +104,9 @@ func run() error {
 			return err
 		}
 	}
+	if *nodeID == "" {
+		*nodeID = *addr
+	}
 	srv := server.New(server.Config{
 		Workers:            *workers,
 		QueueDepth:         *queue,
@@ -112,6 +116,7 @@ func run() error {
 		Engine:             eng,
 		Warehouse:          ws,
 		EstimateConfidence: *estConf,
+		NodeID:             *nodeID,
 	})
 	if sur := srv.Surrogate(); sur != nil {
 		log.Printf("uopsimd: surrogate fast tier trained on %d stored points", sur.Len())

@@ -8,11 +8,12 @@ import (
 )
 
 // Ctxflow keeps the serving layer drainable: every goroutine spawned in
-// internal/server must observe a cancellation signal — a context.Context
-// (r.Context() deadlines), a quit/done/stop channel (the pool's quit), or
-// a sync.WaitGroup the drain path waits on — and every blocking select
-// must carry a cancellation case. A goroutine with none of these outlives
-// Drain and leaks a worker on every graceful shutdown.
+// internal/server or internal/cluster must observe a cancellation signal —
+// a context.Context (r.Context() deadlines), a quit/done/stop channel (the
+// pool's and the gateway prober's quit), or a sync.WaitGroup the drain
+// path waits on — and every blocking select must carry a cancellation
+// case. A goroutine with none of these outlives Drain (or the gateway's
+// Stop) and leaks a worker on every graceful shutdown.
 var Ctxflow = &Analyzer{
 	Name: "ctxflow",
 	Doc:  "require serving-layer goroutines and blocking selects to observe a Context or quit/done channel",
@@ -21,7 +22,7 @@ var Ctxflow = &Analyzer{
 
 // ctxflowScope lists the packages under the rule, matched by path suffix
 // (like wallClockExempt) so fixture copies under testdata exercise it.
-var ctxflowScope = []string{"internal/server"}
+var ctxflowScope = []string{"internal/server", "internal/cluster"}
 
 func inCtxflowScope(path string) bool {
 	for _, suffix := range ctxflowScope {

@@ -28,11 +28,12 @@ var Determinism = &Analyzer{
 
 // wallClockExempt lists library packages where wall-clock reads are the
 // job, not a leak: the serving layer stamps deadlines, Retry-After hints,
-// and latency histograms, none of which feed simulation results (those
+// and latency histograms, and the cluster gateway stamps probe cadences
+// and per-shard latency — none of which feed simulation results (those
 // still flow through the deterministic engine). Matched by path suffix so
 // fixture copies under testdata exercise the same rule. Environment reads
 // and global randomness stay flagged even here.
-var wallClockExempt = []string{"internal/server"}
+var wallClockExempt = []string{"internal/server", "internal/cluster"}
 
 func allowsWallClock(path string) bool {
 	for _, suffix := range wallClockExempt {

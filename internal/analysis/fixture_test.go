@@ -161,6 +161,16 @@ func TestCtxflowFixture(t *testing.T) {
 	runFixture(t, filepath.Join("ctxfix", "internal", "server"), Ctxflow)
 }
 
+// TestClusterScopeFixture loads a fixture under an internal/cluster suffix
+// and runs both scoped analyzers over it at once: the gateway layer joined
+// the wall-clock allowlist (its time.Now/time.Since calls carry no want
+// expectations) and the ctxflow scope (its leaky goroutine and bare
+// blocking select must be flagged), while env reads and global randomness
+// stay flagged as everywhere.
+func TestClusterScopeFixture(t *testing.T) {
+	runFixture(t, filepath.Join("clusterfix", "internal", "cluster"), Determinism, Ctxflow)
+}
+
 // TestFixturesAreRealistic guards the corpus itself: each fixture package
 // must produce at least one finding for its analyzer (an empty corpus would
 // silently stop testing anything).
@@ -183,6 +193,7 @@ func TestFixturesAreRealistic(t *testing.T) {
 		{"cbfix", 3, func(string) []*Analyzer { return []*Analyzer{UnlockedCallback} }},
 		{"atomfix", 3, func(string) []*Analyzer { return []*Analyzer{AtomicMix} }},
 		{filepath.Join("ctxfix", "internal", "server"), 2, func(string) []*Analyzer { return []*Analyzer{Ctxflow} }},
+		{filepath.Join("clusterfix", "internal", "cluster"), 4, func(string) []*Analyzer { return []*Analyzer{Determinism, Ctxflow} }},
 	} {
 		abs, err := filepath.Abs(filepath.Join("testdata", "src", tc.dir))
 		if err != nil {

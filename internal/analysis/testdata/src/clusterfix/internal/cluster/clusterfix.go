@@ -1,0 +1,82 @@
+// Package cluster is a fixture copy under an internal/cluster path suffix:
+// both scope rules newly cover the gateway layer, so wall-clock reads pass
+// (probe cadences and per-shard latency are the job) while environment
+// reads and global randomness stay flagged, and goroutines or blocking
+// selects without a cancellation signal are leaks the prober's Stop would
+// never reap.
+package cluster
+
+import (
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+)
+
+type prober struct {
+	quit  chan struct{}
+	ticks chan int
+	wg    sync.WaitGroup
+}
+
+// ProbeLatency reads the wall clock — allowed in the cluster layer, where
+// probe cadence and per-shard latency histograms are the job.
+func ProbeLatency(start time.Time) time.Duration {
+	_ = time.Now()
+	return time.Since(start)
+}
+
+// SeedNodes shows the allowlist is clock-only: host environment still
+// leaks into shard selection.
+func SeedNodes() string {
+	return os.Getenv("UOPGATE_NODES") // want `os\.Getenv makes results depend on the host environment`
+}
+
+// PickShard shows global randomness stays flagged too.
+func PickShard(n int) int {
+	return rand.Intn(n) // want `rand\.Intn draws from the process-global source`
+}
+
+// LeakyProbe never observes a cancellation signal: Stop cannot reap it.
+func (p *prober) LeakyProbe() {
+	go func() { // want `goroutine in the serving layer observes neither a Context nor a quit/done channel`
+		for range p.ticks {
+		}
+	}()
+}
+
+// QuitProbe resolves the in-package callee: loop's select watches quit.
+func (p *prober) QuitProbe() {
+	p.wg.Add(1)
+	go p.loop()
+}
+
+func (p *prober) loop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case t := <-p.ticks:
+			_ = t
+		}
+	}
+}
+
+// Await blocks with no way out — a drain would hang behind it.
+func (p *prober) Await() int {
+	select { // want `blocking select in the serving layer has no cancellation case`
+	case t := <-p.ticks:
+		return t
+	}
+}
+
+// Poll is the fail-fast shape: a default case cannot hang a drain.
+func (p *prober) Poll() int {
+	select {
+	case t := <-p.ticks:
+		return t
+	default:
+		return -1
+	}
+}

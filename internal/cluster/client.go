@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client fetches the gateway's own endpoints. For the simulation API
+// (/v1/simulate, /v1/estimate, /v1/sweep, /v1/query) point a plain
+// server.Client at the gateway — it speaks the daemon's wire format
+// verbatim; this client only covers the gateway-specific stats shape.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient points a client at a gateway base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Stats fetches the gateway's /v1/stats.
+func (c *Client) Stats() (*StatsResponse, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return nil, fmt.Errorf("cluster: gateway stats: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("cluster: decoding gateway stats: %w", err)
+	}
+	return &out, nil
+}

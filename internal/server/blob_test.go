@@ -1,0 +1,112 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"uopsim/internal/experiments"
+	"uopsim/internal/warehouse"
+)
+
+// TestHealthzIdentity checks the enriched /healthz payload a cluster
+// gateway's membership probe consumes: node identity, uptime, and the
+// stored point count, growing as results land.
+func TestHealthzIdentity(t *testing.T) {
+	eng, ws, err := experiments.NewWarehouseEngine(t.TempDir(), warehouse.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ws.Close() })
+	_, ts := newTestServer(t, Config{Workers: 2, Engine: eng, Warehouse: ws, NodeID: "shard-7"})
+	client := NewClient(ts.URL)
+
+	info, err := client.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != "ok" || info.Node != "shard-7" || !info.Warehouse {
+		t.Fatalf("healthz identity wrong: %+v", info)
+	}
+	if info.Points != 0 {
+		t.Fatalf("fresh daemon reports %d points", info.Points)
+	}
+	if info.UptimeSeconds < 0 {
+		t.Fatalf("negative uptime: %v", info.UptimeSeconds)
+	}
+
+	pt := experiments.PointRequest{Workload: "bm_ds", Scheme: "baseline", Capacity: 1024, Warmup: 1_000, Measure: 4_000}
+	if _, err := client.Simulate(SimulateRequest{PointRequest: pt}); err != nil {
+		t.Fatal(err)
+	}
+	info, err = client.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Points != 1 {
+		t.Fatalf("after one simulation healthz reports %d points, want 1", info.Points)
+	}
+}
+
+// TestBlobRoundTrip drives the replication primitive end to end between
+// two daemons the way the gateway does: simulate on one, fetch its blob,
+// put it to the other, and watch the second daemon serve the point as a
+// disk hit without ever simulating.
+func TestBlobRoundTrip(t *testing.T) {
+	mk := func(node string) (*Client, *Server) {
+		eng, ws, err := experiments.NewWarehouseEngine(t.TempDir(), warehouse.Options{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ws.Close() })
+		s, ts := newTestServer(t, Config{Workers: 2, Engine: eng, Warehouse: ws, NodeID: node})
+		return NewClient(ts.URL), s
+	}
+	src, _ := mk("src")
+	dst, dstSrv := mk("dst")
+
+	pt := experiments.PointRequest{Workload: "bm_ds", Scheme: "baseline", Capacity: 2048, Warmup: 1_000, Measure: 4_000}.WithDefaults()
+	sim, err := src.Simulate(SimulateRequest{PointRequest: pt})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := src.FetchBlob(sim.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats, err := pt.Features()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.PutBlob(BlobPut{Fingerprint: sim.Fingerprint, Features: feats, Blob: blob}); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := dst.Simulate(SimulateRequest{PointRequest: pt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Resolution != "disk" {
+		t.Fatalf("replicated point resolved as %s, want disk", got.Resolution)
+	}
+	if st := dstSrv.Engine().Stats(); st.Simulated != 0 {
+		t.Fatalf("destination simulated %d times after replication", st.Simulated)
+	}
+	if got.Result.Metrics.UPC != sim.Result.Metrics.UPC {
+		t.Fatalf("replicated UPC %v != source %v", got.Result.Metrics.UPC, sim.Result.Metrics.UPC)
+	}
+
+	// The endpoint's contract edges: a miss is 404, garbage is rejected
+	// before it can poison the store.
+	if _, err := src.FetchBlob("no-such-fp"); err == nil {
+		t.Fatal("fetching a missing blob succeeded")
+	} else if se, ok := err.(*StatusError); !ok || se.Code != http.StatusNotFound {
+		t.Fatalf("missing blob error = %v, want 404", err)
+	}
+	if err := dst.PutBlob(BlobPut{Fingerprint: "x", Blob: []byte(`{"not":"a result"}`)}); err == nil {
+		t.Fatal("putting an invalid blob succeeded")
+	}
+	if err := dst.PutBlob(BlobPut{Blob: blob}); err == nil {
+		t.Fatal("putting a blob without a fingerprint succeeded")
+	}
+}

@@ -105,6 +105,12 @@ func (c LoadConfig) points() []experiments.PointRequest {
 	return pts
 }
 
+// PoolSize reports how many distinct design points the config's mix draws
+// from after defaulting — Unique, unless the workloads × schemes ×
+// capacities grid is smaller. A cluster-wide dedupe check compares the
+// fleet's total simulated count against exactly this number.
+func (c LoadConfig) PoolSize() int { return len(c.withDefaults().points()) }
+
 // LoadReport summarizes one load run.
 type LoadReport struct {
 	Requests  int
@@ -119,6 +125,7 @@ type LoadReport struct {
 	// reported by the server's mode field.
 	Modes    map[string]int
 	P50, P90 time.Duration
+	P95      time.Duration
 	P99, Max time.Duration
 	Elapsed  time.Duration
 	// ModeLatency is the per-mode latency profile: simulate runs key it by
@@ -292,6 +299,7 @@ func RunLoad(client *Client, cfg LoadConfig) (LoadReport, error) {
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	report.P50 = percentile(latencies, 0.50)
 	report.P90 = percentile(latencies, 0.90)
+	report.P95 = percentile(latencies, 0.95)
 	report.P99 = percentile(latencies, 0.99)
 	if n := len(latencies); n > 0 {
 		report.Max = latencies[n-1]
@@ -410,6 +418,7 @@ func RunEstimate(client *Client, cfg LoadConfig) (LoadReport, error) {
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	report.P50 = percentile(latencies, 0.50)
 	report.P90 = percentile(latencies, 0.90)
+	report.P95 = percentile(latencies, 0.95)
 	report.P99 = percentile(latencies, 0.99)
 	if n := len(latencies); n > 0 {
 		report.Max = latencies[n-1]

@@ -57,6 +57,10 @@ type Config struct {
 	// above it are served from the fast tier, below it fall through to
 	// real simulation (default experiments.DefaultEstimateConfidence).
 	EstimateConfidence float64
+	// NodeID names this daemon in /healthz so a cluster gateway's
+	// membership probe and balance report can tell shards apart (default
+	// "uopsimd"; cmd/uopsimd defaults it to the listen address).
+	NodeID string
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +81,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EstimateConfidence <= 0 {
 		c.EstimateConfidence = experiments.DefaultEstimateConfidence
+	}
+	if c.NodeID == "" {
+		c.NodeID = "uopsimd"
 	}
 	return c
 }
@@ -127,6 +134,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/blob", s.handleBlob)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -570,13 +578,40 @@ func (s *Server) statsResponse() StatsResponse {
 	return resp
 }
 
+// HealthzInfo is /healthz's 200 body: enough identity for a cluster
+// gateway's membership probe to tell shards apart and for a balance
+// report to weigh them. A draining daemon still answers 503 with a plain
+// "draining" body — probes treat any non-200 as down, payload or not.
+type HealthzInfo struct {
+	Status string `json:"status"`
+	// Node is the daemon's configured identity (Config.NodeID).
+	Node          string  `json:"node"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Points is the stored design-point count: live warehouse records on a
+	// warehouse-backed daemon, otherwise the engine's process-lifetime
+	// unique-fingerprint count (a flat -cache dir keeps no cheap count).
+	Points int `json:"points"`
+	// Warehouse reports whether Points counts durable records.
+	Warehouse bool `json:"warehouse"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.pool.isDraining() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	info := HealthzInfo{
+		Status:        "ok",
+		Node:          s.cfg.NodeID,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	if s.ws != nil {
+		info.Points = s.ws.Stats().Records
+		info.Warehouse = true
+	} else {
+		info.Points = int(s.eng.Stats().Unique)
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
